@@ -1,0 +1,89 @@
+package kcore_test
+
+import (
+	"testing"
+
+	"kcore"
+	"kcore/internal/gen"
+)
+
+func TestApproxMaxCliqueSampleGraph(t *testing.T) {
+	g := buildSample(t)
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique, err := g.ApproxMaxClique(res.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 1 graph's maximum clique is the K4 on v0..v3.
+	if len(clique) != 4 {
+		t.Fatalf("clique = %v, want the K4", clique)
+	}
+	for i, v := range []uint32{0, 1, 2, 3} {
+		if clique[i] != v {
+			t.Fatalf("clique = %v, want [0 1 2 3]", clique)
+		}
+	}
+}
+
+func TestApproxMaxCliqueCompleteGraph(t *testing.T) {
+	var edges []kcore.Edge
+	for i := uint32(0); i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			edges = append(edges, kcore.Edge{U: i, V: j})
+		}
+	}
+	g := buildFrom(t, edges, 7)
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique, err := g.ApproxMaxClique(res.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clique) != 7 {
+		t.Fatalf("K7 clique size = %d, want 7", len(clique))
+	}
+}
+
+func TestApproxMaxCliqueIsAClique(t *testing.T) {
+	edges := gen.Social(500, 3, 15, 11, 901)
+	mem := gen.Build(edges)
+	g := buildFrom(t, edges, mem.NumNodes())
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique, err := g.ApproxMaxClique(res.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clique) < 4 {
+		t.Fatalf("clique %v suspiciously small for a graph with planted cliques", clique)
+	}
+	for i := 0; i < len(clique); i++ {
+		for j := i + 1; j < len(clique); j++ {
+			has, err := g.HasEdge(clique[i], clique[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !has {
+				t.Fatalf("returned set is not a clique: (%d,%d) missing", clique[i], clique[j])
+			}
+		}
+	}
+	// Size is bounded by degeneracy + 1.
+	if len(clique) > int(res.Kmax)+1 {
+		t.Fatalf("clique of %d exceeds kmax+1 = %d", len(clique), res.Kmax+1)
+	}
+}
+
+func TestApproxMaxCliqueValidation(t *testing.T) {
+	g := buildSample(t)
+	if _, err := g.ApproxMaxClique([]uint32{1, 2}); err == nil {
+		t.Fatal("mismatched core array accepted")
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's evaluation: Table I and
+// Figures 3, 9, 10, 11 and 12, plus the worked-example traces of
+// Figures 2-8.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>
+//
+// where <experiment> is one of table1, traces, fig3, fig9small, fig9big,
+// fig10small, fig10big, fig11, fig12, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kcore/internal/expr"
+)
+
+func main() {
+	var (
+		workDir   = flag.String("workdir", "", "directory for materialised graphs (default: temp)")
+		blockSize = flag.Int("block", 4096, "I/O accounting block size B in bytes")
+		quick     = flag.Bool("quick", false, "trimmed datasets and sweeps (seconds instead of minutes)")
+		edges     = flag.Int("edges", 0, "random edges for maintenance experiments (default 100)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>\n\nexperiments:\n", os.Args[0])
+		for _, e := range expr.Experiments {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.Name, e.Desc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n\nflags:\n", "all", "run everything above in order")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := &expr.Config{
+		Out:              os.Stdout,
+		WorkDir:          *workDir,
+		BlockSize:        *blockSize,
+		Quick:            *quick,
+		MaintenanceEdges: *edges,
+	}
+	if err := expr.Run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

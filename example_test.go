@@ -1,0 +1,97 @@
+package kcore_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"kcore"
+)
+
+// sampleEdges is the paper's Fig. 1 running example.
+func sampleEdges() []kcore.Edge {
+	return []kcore.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3},
+		{U: 2, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 3, V: 6},
+		{U: 4, V: 5},
+		{U: 5, V: 6}, {U: 5, V: 7}, {U: 5, V: 8},
+		{U: 6, V: 7},
+	}
+}
+
+func Example() {
+	dir, err := os.MkdirTemp("", "kcore-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	base := filepath.Join(dir, "g")
+
+	if err := kcore.Build(base, kcore.SliceEdges(sampleEdges()), nil); err != nil {
+		log.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cores:", res.Core)
+	fmt.Println("kmax:", res.Kmax)
+	// Output:
+	// cores: [3 3 3 3 2 2 2 2 1]
+	// kmax: 3
+}
+
+func ExampleMaintainer() {
+	dir, err := os.MkdirTemp("", "kcore-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	base := filepath.Join(dir, "g")
+	if err := kcore.Build(base, kcore.SliceEdges(sampleEdges()), nil); err != nil {
+		log.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	m, err := kcore.NewMaintainer(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, _ := m.CoreOf(8)
+	if _, err := m.InsertEdge(7, 8); err != nil { // the paper's Example 2.1
+		log.Fatal(err)
+	}
+	after, _ := m.CoreOf(8)
+	fmt.Printf("core(v8): %d -> %d\n", before, after)
+	// Output:
+	// core(v8): 1 -> 2
+}
+
+func ExampleKCoreNodes() {
+	core := []uint32{3, 3, 3, 3, 2, 2, 2, 2, 1}
+	fmt.Println(kcore.KCoreNodes(core, 3))
+	fmt.Println(kcore.CoreHistogram(core))
+	// Output:
+	// [0 1 2 3]
+	// [0 1 4 4]
+}
+
+func ExampleDegeneracyOrder() {
+	core := []uint32{2, 1, 2, 0}
+	fmt.Println(kcore.DegeneracyOrder(core))
+	// Output:
+	// [3 1 0 2]
+}

@@ -1,0 +1,72 @@
+// Web-scale pipeline: the full semi-external workflow the paper targets —
+// a web-crawl-shaped graph too awkward to hold as adjacency lists in
+// memory is built from an unsorted edge stream with a bounded-memory
+// external sort, then decomposed with all three SemiCore variants so the
+// I/O and node-computation gaps of Fig. 9 are visible, with the explicit
+// O(n) memory ledger that lets the paper process a 42.6-billion-edge
+// graph in 4.2 GB.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"kcore"
+	"kcore/internal/gen"
+	"kcore/internal/stats"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kcore-webscale")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	base := filepath.Join(dir, "crawl")
+
+	// A UK-like crawl: dense RMAT core plus long chain appendages (the
+	// structure that gives the paper's web graphs their thousands of
+	// fixpoint iterations).
+	edges := gen.WebGraph(15, 10, 60, 250, 2016)
+	fmt.Printf("generated %d raw edges\n", len(edges))
+
+	// Build with a deliberately tiny sort budget: the builder spills
+	// sorted runs to disk and merges them, so peak memory stays bounded
+	// no matter how large the input stream is.
+	err = kcore.Build(base, kcore.SliceEdges(edges), &kcore.BuildOptions{
+		SortBudgetArcs: 64 << 10,
+		TempDir:        dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	fmt.Printf("on disk: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	fmt.Printf("%-10s %10s %12s %10s %12s %10s\n",
+		"algorithm", "time", "iterations", "comps", "read I/O", "memory")
+	for _, algo := range []kcore.Algorithm{kcore.SemiCoreStar, kcore.SemiCorePlus, kcore.SemiCoreBasic} {
+		res, err := kcore.Decompose(g, &kcore.DecomposeOptions{Algorithm: algo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10v %12d %10d %12d %10s\n",
+			res.Info.Algorithm, res.Info.Duration.Round(1000),
+			res.Info.Iterations, res.Info.NodeComputations,
+			res.Info.IO.Reads, stats.FormatBytes(res.Info.MemPeakBytes))
+	}
+
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nkmax = %d; 2-core holds %d of %d nodes (chains), deep cores are the crawl's dense center\n",
+		res.Kmax, kcore.CoreSizes(res.Core)[2], g.NumNodes())
+	fmt.Println("note: SemiCore pays a full edge scan per iteration; SemiCore* touches only changing nodes — the paper's headline gap.")
+}

@@ -1,0 +1,143 @@
+package kcore
+
+import (
+	"fmt"
+
+	"kcore/internal/dyngraph"
+	"kcore/internal/graphio"
+	"kcore/internal/stats"
+)
+
+// EdgeSource streams undirected edges into Build.
+type EdgeSource = graphio.EdgeSource
+
+// SliceEdges adapts an in-memory edge slice as an EdgeSource.
+func SliceEdges(edges []Edge) EdgeSource { return graphio.SliceSource(edges) }
+
+// FileEdges adapts a whitespace-separated "u v" text file as an
+// EdgeSource. Lines starting with '#' or '%' are skipped.
+func FileEdges(path string) EdgeSource { return graphio.TextSource{Path: path} }
+
+// BuildOptions tunes graph construction.
+type BuildOptions struct {
+	// NumNodes forces the node count; 0 derives max id + 1.
+	NumNodes uint32
+	// SortBudgetArcs bounds the arcs the external sorter holds in memory
+	// (the build never materialises the graph); 0 selects a default.
+	SortBudgetArcs int
+	// TempDir holds external-sort spill runs; empty uses the graph's
+	// directory.
+	TempDir string
+}
+
+// Build converts an edge stream into the on-disk node-table/edge-table
+// format at path prefix base (three files: base.meta, base.nt, base.et).
+// Edges are symmetrised, external-sorted and deduplicated; self-loops are
+// dropped.
+func Build(base string, src EdgeSource, opts *BuildOptions) error {
+	var o BuildOptions
+	if opts != nil {
+		o = *opts
+	}
+	return graphio.Build(base, src, graphio.BuildOptions{
+		N:              o.NumNodes,
+		SortBudgetArcs: o.SortBudgetArcs,
+		TempDir:        o.TempDir,
+	})
+}
+
+// OpenOptions tunes an opened graph handle.
+type OpenOptions struct {
+	// BlockSize is the I/O accounting block size B; 0 selects 4096.
+	BlockSize int
+	// BufferArcs caps the in-memory update buffer before edits are
+	// compacted to disk; 0 selects a default.
+	BufferArcs int
+}
+
+// Graph is a handle to an on-disk graph with a dynamic update overlay.
+// All reads and compaction writes are counted at block granularity.
+type Graph struct {
+	dyn  *dyngraph.Graph
+	ctr  *stats.IOCounter
+	base string
+}
+
+// Open attaches to the graph stored at path prefix base.
+func Open(base string, opts *OpenOptions) (*Graph, error) {
+	var o OpenOptions
+	if opts != nil {
+		o = *opts
+	}
+	ctr := stats.NewIOCounter(o.BlockSize)
+	dyn, err := dyngraph.Open(base, ctr, dyngraph.Options{BufferArcs: o.BufferArcs})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{dyn: dyn, ctr: ctr, base: base}, nil
+}
+
+// Close releases the underlying files. If no compaction happened during
+// the session, buffered edits not flushed with Flush are discarded and
+// the on-disk graph is exactly as opened; if automatic compaction already
+// rewrote the files, Close flushes the remaining buffer too, so the disk
+// state is never torn between old and new edits.
+func (g *Graph) Close() error { return g.dyn.Close() }
+
+// Base reports the path prefix the graph was opened from.
+func (g *Graph) Base() string { return g.base }
+
+// NumNodes reports n.
+func (g *Graph) NumNodes() uint32 { return g.dyn.NumNodes() }
+
+// NumEdges reports the current undirected edge count (disk plus buffered
+// edits).
+func (g *Graph) NumEdges() int64 { return g.dyn.NumEdges() }
+
+// Neighbors loads the current adjacency list of v (disk merged with
+// buffered edits), costing O(1 + deg(v)/B) read I/Os.
+func (g *Graph) Neighbors(v uint32) ([]uint32, error) {
+	if v >= g.NumNodes() {
+		return nil, fmt.Errorf("kcore: node %d out of range [0,%d)", v, g.NumNodes())
+	}
+	return g.dyn.Neighbors(v, nil)
+}
+
+// Degree reports the current degree of v.
+func (g *Graph) Degree(v uint32) (uint32, error) {
+	if v >= g.NumNodes() {
+		return 0, fmt.Errorf("kcore: node %d out of range [0,%d)", v, g.NumNodes())
+	}
+	return g.dyn.Degree(v)
+}
+
+// HasEdge reports whether {u,v} is currently present.
+func (g *Graph) HasEdge(u, v uint32) (bool, error) { return g.dyn.HasEdge(u, v) }
+
+// Flush forces buffered edits to be merged into the disk tables.
+func (g *Graph) Flush() error { return g.dyn.Compact() }
+
+// IOStats reports the cumulative block I/O performed through this handle.
+func (g *Graph) IOStats() IOStats { return ioStatsFrom(g.ctr.Snapshot()) }
+
+// ResetIOStats zeroes the handle's I/O counters (experiment hygiene).
+func (g *Graph) ResetIOStats() { g.ctr.Reset() }
+
+// VisitEdges streams every current undirected edge once (u < v) via one
+// sequential scan.
+func (g *Graph) VisitEdges(fn func(u, v uint32) error) error {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	return g.dyn.Scan(0, n-1, nil, func(v uint32, nbrs []uint32) error {
+		for _, u := range nbrs {
+			if u > v {
+				if err := fn(v, u); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}

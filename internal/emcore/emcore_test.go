@@ -1,0 +1,158 @@
+package emcore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/graphio"
+	"kcore/internal/memgraph"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+	"kcore/internal/verify"
+)
+
+// onDisk materialises a CSR as an on-disk graph for EMCore.
+func onDisk(t *testing.T, g *memgraph.CSR) *storage.Graph {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := storage.Open(base, stats.NewIOCounter(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dg.Close() })
+	return dg
+}
+
+func corpus(tb testing.TB) map[string]*memgraph.CSR {
+	tb.Helper()
+	return map[string]*memgraph.CSR{
+		"sample": gen.SampleGraph(),
+		"er":     gen.Build(gen.ErdosRenyi(300, 900, 41)),
+		"ba":     gen.Build(gen.BarabasiAlbert(400, 4, 43)),
+		"rmat":   gen.Build(gen.RMAT(9, 6, 0.57, 0.19, 0.19, 45)),
+		"social": gen.Build(gen.Social(350, 3, 12, 9, 47)),
+		"web":    gen.Build(gen.WebGraph(7, 4, 6, 25, 49)),
+	}
+}
+
+func TestDecomposeAgainstReference(t *testing.T) {
+	for name, g := range corpus(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			dg := onDisk(t, g)
+			res, err := Decompose(dg, Options{TempDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.CheckAgainst(g, res.Core); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBudgetControlsRounds(t *testing.T) {
+	g := gen.Build(gen.RMAT(10, 8, 0.57, 0.19, 0.19, 51))
+	dg := onDisk(t, g)
+
+	// A budget covering the whole graph finishes in one round.
+	big, err := Decompose(dg, Options{
+		TempDir:          t.TempDir(),
+		MemoryBudgetArcs: dg.NumArcs() * 2,
+		PartitionArcs:    dg.NumArcs() / 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rounds != 1 {
+		t.Fatalf("whole-graph budget used %d rounds, want 1", big.Rounds)
+	}
+	if err := verify.CheckAgainst(g, big.Core); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tight budget needs several rounds but stays correct.
+	small, err := Decompose(dg, Options{
+		TempDir:          t.TempDir(),
+		MemoryBudgetArcs: 2048,
+		PartitionArcs:    512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Rounds < 2 {
+		t.Fatalf("tight budget used %d rounds, want >= 2", small.Rounds)
+	}
+	if err := verify.CheckAgainst(g, small.Core); err != nil {
+		t.Fatal(err)
+	}
+	if small.PeakLoadedArcs > big.PeakLoadedArcs {
+		t.Fatalf("tight budget peak %d > loose budget peak %d", small.PeakLoadedArcs, big.PeakLoadedArcs)
+	}
+}
+
+func TestWriteIOHappens(t *testing.T) {
+	// Advantage A2 of the paper: EMCore re-partitions, so unlike the
+	// SemiCore family it must issue write I/O.
+	g := gen.Build(gen.ErdosRenyi(400, 2000, 53))
+	dg := onDisk(t, g)
+	ctr := stats.NewIOCounter(0)
+	if _, err := Decompose(dg, Options{TempDir: t.TempDir(), IO: ctr, MemoryBudgetArcs: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Writes() == 0 {
+		t.Fatal("EMCore performed no write I/O")
+	}
+	if ctr.Reads() == 0 {
+		t.Fatal("EMCore performed no read I/O")
+	}
+}
+
+func TestMemoryBlowupShape(t *testing.T) {
+	// The paper's critique: even with a tight budget, processing the low
+	// core ranges loads most of the graph. On a graph whose mass sits in
+	// low cores, the peak load must far exceed the budget.
+	g := gen.Build(gen.WebGraph(9, 3, 20, 40, 55))
+	dg := onDisk(t, g)
+	budget := int64(1024)
+	res, err := Decompose(dg, Options{TempDir: t.TempDir(), MemoryBudgetArcs: budget, PartitionArcs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckAgainst(g, res.Core); err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakLoadedArcs <= budget {
+		t.Fatalf("peak loaded arcs %d within budget %d; expected the paper's blow-up", res.PeakLoadedArcs, budget)
+	}
+}
+
+func TestIsolatedAndEmpty(t *testing.T) {
+	empty, err := memgraph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(onDisk(t, empty), Options{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Core) != 0 {
+		t.Fatal("empty graph produced cores")
+	}
+
+	iso, err := memgraph.FromEdges(10, []memgraph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Decompose(onDisk(t, iso), Options{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckAgainst(iso, res.Core); err != nil {
+		t.Fatal(err)
+	}
+}

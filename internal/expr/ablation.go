@@ -1,0 +1,186 @@
+package expr
+
+import (
+	"fmt"
+	"time"
+
+	"kcore/internal/dyngraph"
+	"kcore/internal/emcore"
+	"kcore/internal/gen"
+	"kcore/internal/graphio"
+	"kcore/internal/maintain"
+	"kcore/internal/semicore"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+)
+
+// Ablation exercises the design choices DESIGN.md calls out, beyond the
+// paper's own exhibits:
+//
+//  1. block size B: the I/O counts of a semi-external scan scale ~1/B
+//     while the algorithm is unchanged — evidence the counter measures
+//     the model, not the implementation;
+//  2. EMCore memory budget: shrinking the budget cannot bound the peak
+//     load (the paper's core critique, quantified);
+//  3. update-buffer capacity: maintenance write I/O against compaction
+//     frequency;
+//  4. batch deletion vs one-by-one SemiDelete*.
+func Ablation(cfg *Config) error {
+	dir, cleanup, err := cfg.workDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	out := cfg.out()
+
+	name := "lj-sim"
+	if cfg.Quick {
+		name = "dblp-sim"
+	}
+	d, err := gen.ByName(name)
+	if err != nil {
+		return err
+	}
+	base, csr, err := materialise(dir, d)
+	if err != nil {
+		return err
+	}
+
+	// 1. Block-size sweep.
+	t := newTable(out, fmt.Sprintf("Ablation 1: block size B (%s, SemiCore*)", name))
+	t.row("B", "read I/O", "read bytes", "time")
+	for _, bs := range []int{1024, 4096, 65536} {
+		ctr := stats.NewIOCounter(bs)
+		g, err := storage.Open(base, ctr)
+		if err != nil {
+			return err
+		}
+		res, err := semicore.SemiCoreStar(g, nil)
+		g.Close()
+		if err != nil {
+			return err
+		}
+		s := ctr.Snapshot()
+		t.row(bs, fmtCount(s.Reads), fmtCount(s.ReadBytes), fmtDur(res.Stats.Duration))
+	}
+	t.flush()
+
+	// 2. EMCore budget sweep.
+	t = newTable(out, fmt.Sprintf("Ablation 2: EMCore memory budget (%s)", name))
+	t.row("budget (arcs)", "rounds", "peak loaded arcs", "blow-up", "write I/O")
+	arcs := csr.NumArcs()
+	for _, budget := range []int64{arcs / 16, arcs / 4, arcs, 2 * arcs} {
+		ctr := stats.NewIOCounter(cfg.BlockSize)
+		g, err := storage.Open(base, ctr)
+		if err != nil {
+			return err
+		}
+		res, err := emcore.Decompose(g, emcore.Options{
+			MemoryBudgetArcs: budget, TempDir: dir, IO: ctr,
+		})
+		g.Close()
+		if err != nil {
+			return err
+		}
+		blowup := float64(res.PeakLoadedArcs) / float64(budget)
+		t.row(fmtCount(budget), res.Rounds, fmtCount(res.PeakLoadedArcs),
+			fmt.Sprintf("%.2fx", blowup), fmtCount(ctr.Writes()))
+	}
+	t.flush()
+	fmt.Fprintln(out, "the peak load refuses to track the budget — EMCore cannot bound memory (paper Section IV-A).")
+
+	// 3. Update-buffer capacity vs compaction.
+	t = newTable(out, fmt.Sprintf("Ablation 3: update buffer capacity (%s, %d-op churn)", name, 3*cfg.maintenanceEdges()))
+	t.row("buffer (arcs)", "compactions", "write I/O", "total time")
+	edges := pickEdges(csr, cfg.maintenanceEdges(), 1500)
+	for _, cap := range []int{64, 1024, 1 << 30} {
+		// Small-capacity runs compact mid-churn, rewriting the graph
+		// files, and edits still buffered at Close are discarded — so
+		// each configuration gets its own copy of the base.
+		copyBase := fmt.Sprintf("%s-buf%d", base, cap)
+		if err := graphio.CopyGraph(copyBase, base); err != nil {
+			return err
+		}
+		ctr := stats.NewIOCounter(cfg.BlockSize)
+		g, err := dyngraph.Open(copyBase, ctr, dyngraph.Options{BufferArcs: cap})
+		if err != nil {
+			return err
+		}
+		s, err := maintain.NewSession(g, nil)
+		if err != nil {
+			g.Close()
+			return err
+		}
+		start := time.Now()
+		for round := 0; round < 3; round++ {
+			for _, e := range edges {
+				if _, err := s.DeleteStar(e.U, e.V); err != nil {
+					g.Close()
+					return err
+				}
+			}
+			for _, e := range edges {
+				if _, err := s.InsertStar(e.U, e.V); err != nil {
+					g.Close()
+					return err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		t.row(fmtCount(int64(cap)), g.Compactions, fmtCount(ctr.Writes()), fmtDur(elapsed))
+		g.Close()
+	}
+	t.flush()
+
+	// 4. Batch deletion vs sequential.
+	t = newTable(out, fmt.Sprintf("Ablation 4: batch vs sequential deletion (%s, %d edges)", name, len(edges)))
+	t.row("strategy", "node comps", "read I/O", "time")
+	{
+		ctr := stats.NewIOCounter(cfg.BlockSize)
+		g, err := dyngraph.Open(base, ctr, dyngraph.Options{BufferArcs: 1 << 30})
+		if err != nil {
+			return err
+		}
+		s, err := maintain.NewSession(g, nil)
+		if err != nil {
+			g.Close()
+			return err
+		}
+		before := ctr.Snapshot()
+		start := time.Now()
+		var comps int64
+		for _, e := range edges {
+			rs, err := s.DeleteStar(e.U, e.V)
+			if err != nil {
+				g.Close()
+				return err
+			}
+			comps += rs.NodeComputations
+		}
+		t.row("sequential", comps, fmtCount(ctr.Snapshot().Sub(before).Reads), fmtDur(time.Since(start)))
+		g.Close()
+	}
+	{
+		ctr := stats.NewIOCounter(cfg.BlockSize)
+		g, err := dyngraph.Open(base, ctr, dyngraph.Options{BufferArcs: 1 << 30})
+		if err != nil {
+			return err
+		}
+		s, err := maintain.NewSession(g, nil)
+		if err != nil {
+			g.Close()
+			return err
+		}
+		before := ctr.Snapshot()
+		start := time.Now()
+		rs, err := s.BatchDelete(edges)
+		if err != nil {
+			g.Close()
+			return err
+		}
+		t.row("batch", rs.NodeComputations, fmtCount(ctr.Snapshot().Sub(before).Reads), fmtDur(time.Since(start)))
+		g.Close()
+	}
+	t.flush()
+	return nil
+}

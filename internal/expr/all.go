@@ -1,0 +1,39 @@
+package expr
+
+import "fmt"
+
+// Experiments maps subcommand names to runners, in the paper's order.
+var Experiments = []struct {
+	Name string
+	Desc string
+	Run  func(*Config) error
+}{
+	{"table1", "Table I: dataset statistics", Table1},
+	{"traces", "Figs. 2,4,5,6,7,8: worked-example traces", Traces},
+	{"fig3", "Fig. 3: changed nodes per iteration", Fig3},
+	{"fig9small", "Fig. 9 (a,c,e): decomposition, small graphs", Fig9Small},
+	{"fig9big", "Fig. 9 (b,d,f): decomposition, big graphs", Fig9Big},
+	{"fig10small", "Fig. 10 (a,c): maintenance, small graphs", Fig10Small},
+	{"fig10big", "Fig. 10 (b,d): maintenance, big graphs", Fig10Big},
+	{"fig11", "Fig. 11: decomposition scalability", Fig11},
+	{"fig12", "Fig. 12: maintenance scalability", Fig12},
+	{"ablation", "design-choice ablations (block size, EMCore budget, buffer, batching)", Ablation},
+}
+
+// Run dispatches one experiment by name, or every experiment for "all".
+func Run(name string, cfg *Config) error {
+	if name == "all" {
+		for _, e := range Experiments {
+			if err := e.Run(cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e.Run(cfg)
+		}
+	}
+	return fmt.Errorf("expr: unknown experiment %q", name)
+}

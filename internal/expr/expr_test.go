@@ -1,0 +1,130 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// run executes one experiment in Quick mode and returns its output.
+func run(t *testing.T, name string) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg := &Config{Out: &sb, WorkDir: t.TempDir(), Quick: true}
+	if err := Run(name, cfg); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return sb.String()
+}
+
+func TestTable1Quick(t *testing.T) {
+	out := run(t, "table1")
+	for _, want := range []string{"dblp-sim", "DBLP", "density", "kmax", "webbase-sim"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracesQuick(t *testing.T) {
+	out := run(t, "traces")
+	for _, want := range []string{
+		"Fig. 2", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+		"SemiCore: 36, SemiCore+: 23, SemiCore*: 11",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("traces output missing %q", want)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	out := run(t, "fig3")
+	if !strings.Contains(out, "twitter-sim") || !strings.Contains(out, "changed nodes") {
+		t.Fatalf("fig3 output malformed:\n%s", out)
+	}
+}
+
+func TestFig9SmallQuick(t *testing.T) {
+	out := run(t, "fig9small")
+	for _, want := range []string{"SemiCore*", "EMCore", "IMCore", "read I/O"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9small output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10SmallQuick(t *testing.T) {
+	out := run(t, "fig10small")
+	for _, want := range []string{"SemiInsert*", "SemiDelete*", "IMInsert", "IMDelete"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig10small output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	out := run(t, "fig11")
+	for _, want := range []string{"vary |V|", "vary |E|", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig11 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	out := run(t, "fig12")
+	if !strings.Contains(out, "SemiDelete*") || !strings.Contains(out, "avg update time") {
+		t.Fatalf("fig12 output malformed:\n%s", out)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", &Config{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSampleIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 50, 2000} {
+		idx := sampleIterations(n)
+		if n == 0 {
+			if len(idx) != 0 {
+				t.Fatalf("n=0 gave %v", idx)
+			}
+			continue
+		}
+		if idx[0] != 0 || idx[len(idx)-1] != n-1 {
+			t.Fatalf("n=%d: endpoints wrong: %v", n, idx)
+		}
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("n=%d: not increasing: %v", n, idx)
+			}
+		}
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	out := run(t, "ablation")
+	for _, want := range []string{"block size", "EMCore memory budget", "update buffer", "batch vs sequential"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9BigQuick(t *testing.T) {
+	out := run(t, "fig9big")
+	for _, want := range []string{"webbase-sim", "it-sim", "SemiCore*", "semi-external only"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9big output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10BigQuick(t *testing.T) {
+	out := run(t, "fig10big")
+	if !strings.Contains(out, "webbase-sim") || !strings.Contains(out, "SemiInsert*") {
+		t.Fatalf("fig10big output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"fmt"
+
+	"kcore/internal/gen"
+	"kcore/internal/memgraph"
+)
+
+// scaleFractions returns the sampling sweep (the paper uses 20%..100%).
+func (c *Config) scaleFractions() []float64 {
+	if c.Quick {
+		return []float64{0.2, 0.6, 1.0}
+	}
+	return []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+}
+
+// scaleDatasets returns the graphs used for the scalability study
+// (Twitter and UK in the paper).
+func (c *Config) scaleDatasets() []string {
+	if c.Quick {
+		return []string{"twitter-sim"}
+	}
+	return []string{"twitter-sim", "uk-sim"}
+}
+
+// Fig11 regenerates Fig. 11: decomposition scalability. For each base
+// graph it samples |V| (induced subgraph) and |E| (incident nodes kept)
+// from 20% to 100% and times the three semi-external algorithms on disk.
+func Fig11(cfg *Config) error {
+	dir, cleanup, err := cfg.workDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	out := cfg.out()
+	for _, name := range cfg.scaleDatasets() {
+		d, err := gen.ByName(name)
+		if err != nil {
+			return err
+		}
+		full := d.Graph()
+		for _, mode := range []string{"V", "E"} {
+			t := newTable(out, fmt.Sprintf("Fig. 11: vary |%s| (%s)", mode, name))
+			t.row("fraction", "|V|", "|E|", "SemiCore*", "SemiCore+", "SemiCore")
+			for _, frac := range cfg.scaleFractions() {
+				sub, err := sampleGraph(full, mode, frac)
+				if err != nil {
+					return err
+				}
+				base, err := materialiseCSR(dir, fmt.Sprintf("%s-%s-%02.0f", name, mode, frac*100), sub)
+				if err != nil {
+					return err
+				}
+				var cells []interface{}
+				cells = append(cells, fmt.Sprintf("%.0f%%", frac*100),
+					fmtCount(int64(sub.NumNodes())), fmtCount(sub.NumEdges()))
+				var recs []record
+				for _, v := range []semiVariant{variantStar, variantPlus, variantBasic} {
+					r, err := cfg.runSemiDisk(v, base)
+					if err != nil {
+						return err
+					}
+					recs = append(recs, r)
+					cells = append(cells, fmtDur(r.Time))
+				}
+				if err := checkAgreement(recs); err != nil {
+					return err
+				}
+				t.row(cells...)
+			}
+			t.flush()
+		}
+	}
+	fmt.Fprintln(out, "expected shape: time grows with both sweeps; the SemiCore*:SemiCore gap widens as |E| grows.")
+	return nil
+}
+
+// sampleGraph dispatches the paper's two sampling modes.
+func sampleGraph(g *memgraph.CSR, mode string, frac float64) (*memgraph.CSR, error) {
+	if frac >= 1.0 {
+		return g, nil
+	}
+	if mode == "V" {
+		return memgraph.SampleNodes(g, frac, 2016)
+	}
+	return memgraph.SampleEdges(g, frac, 2016)
+}

@@ -1,0 +1,173 @@
+// Conformance tests: the three graph.Source implementations (in-memory
+// CSR, counted disk tables, buffered dynamic view) must be externally
+// indistinguishable, because the semi-external algorithms are written
+// against the interface and validated mostly on the fast backend.
+package graph_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"kcore/internal/dyngraph"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+	"kcore/internal/graphio"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+)
+
+// sources materialises one generated graph behind all three backends.
+func sources(t *testing.T) map[string]graph.Source {
+	t.Helper()
+	csr := gen.Build(gen.Social(200, 3, 8, 8, 601))
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := storage.Open(base, stats.NewIOCounter(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	dyn, err := dyngraph.Open(base, stats.NewIOCounter(0), dyngraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dyn.Close() })
+	return map[string]graph.Source{"csr": csr, "disk": disk, "dyn": dyn}
+}
+
+type visit struct {
+	v    uint32
+	nbrs string
+}
+
+func collectScan(t *testing.T, s graph.Source, vmin, vmax uint32, want func(uint32) bool) []visit {
+	t.Helper()
+	var out []visit
+	err := s.Scan(vmin, vmax, want, func(v uint32, nbrs []uint32) error {
+		out = append(out, visit{v, fmt.Sprint(nbrs)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSourcesAgreeOnFullScan(t *testing.T) {
+	srcs := sources(t)
+	ref := collectScan(t, srcs["csr"], 0, srcs["csr"].NumNodes()-1, nil)
+	for name, s := range srcs {
+		got := collectScan(t, s, 0, s.NumNodes()-1, nil)
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d visits, want %d", name, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: visit %d = %+v, want %+v", name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSourcesAgreeOnPartialScan(t *testing.T) {
+	srcs := sources(t)
+	want := func(v uint32) bool { return v%7 == 3 }
+	ref := collectScan(t, srcs["csr"], 10, 150, want)
+	if len(ref) == 0 {
+		t.Fatal("empty reference scan")
+	}
+	for name, s := range srcs {
+		got := collectScan(t, s, 10, 150, want)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("%s: partial scan diverges", name)
+		}
+	}
+}
+
+func TestSourcesAgreeOnDynamicWindow(t *testing.T) {
+	srcs := sources(t)
+	runIt := func(s graph.Source) []uint32 {
+		var visited []uint32
+		cur := uint32(5)
+		err := s.ScanDynamic(0, func() uint32 { return cur }, nil, func(v uint32, nbrs []uint32) error {
+			visited = append(visited, v)
+			if v == 3 {
+				cur = 12 // widen mid-scan
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return visited
+	}
+	ref := runIt(srcs["csr"])
+	if len(ref) != 13 {
+		t.Fatalf("reference visited %d nodes, want 13", len(ref))
+	}
+	for name, s := range srcs {
+		if fmt.Sprint(runIt(s)) != fmt.Sprint(ref) {
+			t.Fatalf("%s: dynamic window scan diverges", name)
+		}
+	}
+}
+
+func TestSourcesAgreeOnDegrees(t *testing.T) {
+	srcs := sources(t)
+	collect := func(s graph.Source) []uint32 {
+		var out []uint32
+		if err := s.ScanDegrees(func(v uint32, d uint32) error {
+			out = append(out, d)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := collect(srcs["csr"])
+	for name, s := range srcs {
+		got := collect(s)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("%s: degree scan diverges", name)
+		}
+	}
+}
+
+func TestSourcesHonourErrStop(t *testing.T) {
+	for name, s := range sources(t) {
+		count := 0
+		err := s.Scan(0, s.NumNodes()-1, nil, func(v uint32, nbrs []uint32) error {
+			count++
+			if count == 5 {
+				return graph.ErrStop
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: ErrStop leaked: %v", name, err)
+		}
+		if count != 5 {
+			t.Fatalf("%s: visited %d, want 5", name, count)
+		}
+		count = 0
+		err = s.ScanDegrees(func(v uint32, d uint32) error {
+			count++
+			return graph.ErrStop
+		})
+		if err != nil || count != 1 {
+			t.Fatalf("%s: ScanDegrees stop: err=%v count=%d", name, err, count)
+		}
+	}
+}
+
+func TestIsStop(t *testing.T) {
+	if !graph.IsStop(graph.ErrStop) {
+		t.Fatal("IsStop(ErrStop) = false")
+	}
+	if graph.IsStop(fmt.Errorf("other")) {
+		t.Fatal("IsStop(other) = true")
+	}
+}

@@ -1,0 +1,122 @@
+package graphio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/semicore"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+	"kcore/internal/verify"
+)
+
+// TestSemiCoreIOLaw pins Theorem 4.2's I/O complexity as an exact law of
+// the implementation: SemiCore performs l full sequential scans, so its
+// read I/O count equals l * (ceil(nodeTableBytes/B) + ceil(edgeTableBytes/B))
+// for the one-block buffer model.
+func TestSemiCoreIOLaw(t *testing.T) {
+	mem := gen.Build(gen.Social(400, 3, 10, 9, 701))
+	base := filepath.Join(t.TempDir(), "g")
+	if err := WriteCSR(base, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, blockSize := range []int{512, 4096} {
+		ctr := stats.NewIOCounter(blockSize)
+		g, err := storage.Open(base, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := semicore.SemiCore(g, nil)
+		g.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		B := int64(blockSize)
+		ntBytes := int64(mem.NumNodes()) * storage.NodeRecordSize
+		etBytes := mem.NumArcs() * storage.ArcSize
+		blocks := (ntBytes+B-1)/B + (etBytes+B-1)/B
+		// The degree-initialisation pass scans the node table once more.
+		want := int64(res.Stats.Iterations)*blocks + (ntBytes+B-1)/B
+		if got := ctr.Reads(); got != want {
+			t.Fatalf("B=%d: reads = %d, want %d (l=%d iterations)",
+				blockSize, got, want, res.Stats.Iterations)
+		}
+	}
+}
+
+// TestDiskParityAllVariants runs each semi-external variant on disk and
+// in memory and requires identical cores, iteration counts and node
+// computation counts — the backends must be observationally equivalent.
+func TestDiskParityAllVariants(t *testing.T) {
+	mem := gen.Build(gen.WebGraph(7, 5, 6, 20, 703))
+	base := filepath.Join(t.TempDir(), "g")
+	if err := WriteCSR(base, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := verify.CoresByRepeatedRemoval(mem)
+	type runner func() (*semicore.Result, *semicore.Result, error)
+	variants := map[string]runner{
+		"SemiCore": func() (*semicore.Result, *semicore.Result, error) {
+			g, err := storage.Open(base, stats.NewIOCounter(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			defer g.Close()
+			d, err := semicore.SemiCore(g, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := semicore.SemiCore(mem, nil)
+			return d, m, err
+		},
+		"SemiCore+": func() (*semicore.Result, *semicore.Result, error) {
+			g, err := storage.Open(base, stats.NewIOCounter(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			defer g.Close()
+			d, err := semicore.SemiCorePlus(g, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := semicore.SemiCorePlus(mem, nil)
+			return d, m, err
+		},
+		"SemiCore*": func() (*semicore.Result, *semicore.Result, error) {
+			g, err := storage.Open(base, stats.NewIOCounter(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			defer g.Close()
+			d, err := semicore.SemiCoreStar(g, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := semicore.SemiCoreStar(mem, nil)
+			return d, m, err
+		},
+	}
+	for name, run := range variants {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			disk, inmem, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if disk.Stats.Iterations != inmem.Stats.Iterations {
+				t.Fatalf("iterations: disk %d, memory %d", disk.Stats.Iterations, inmem.Stats.Iterations)
+			}
+			if disk.Stats.NodeComputations != inmem.Stats.NodeComputations {
+				t.Fatalf("computations: disk %d, memory %d",
+					disk.Stats.NodeComputations, inmem.Stats.NodeComputations)
+			}
+			for v := range want {
+				if disk.Core[v] != want[v] || inmem.Core[v] != want[v] {
+					t.Fatalf("core(%d): disk %d, memory %d, want %d",
+						v, disk.Core[v], inmem.Core[v], want[v])
+				}
+			}
+		})
+	}
+}

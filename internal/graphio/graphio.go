@@ -1,0 +1,279 @@
+// Package graphio converts between edge-list representations and the
+// on-disk graph format. The central entry point, Build, takes any edge
+// stream (in-memory slice, text file, binary file), symmetrises it,
+// external-sorts the arcs under a bounded memory budget, deduplicates, and
+// writes the node/edge tables — so web-scale inputs never need to fit in
+// memory, matching the paper's construction pipeline.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"kcore/internal/extsort"
+	"kcore/internal/memgraph"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+)
+
+// EdgeSource streams undirected edges. Implementations may be re-iterable
+// or one-shot; Build consumes the source exactly once.
+type EdgeSource interface {
+	// Edges invokes fn for every edge. Self-loops are tolerated and
+	// dropped by Build.
+	Edges(fn func(u, v uint32) error) error
+}
+
+// SliceSource adapts an in-memory edge slice.
+type SliceSource []memgraph.Edge
+
+// Edges implements EdgeSource.
+func (s SliceSource) Edges(fn func(u, v uint32) error) error {
+	for _, e := range s {
+		if err := fn(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSRSource adapts an in-memory CSR graph.
+type CSRSource struct{ G *memgraph.CSR }
+
+// Edges implements EdgeSource.
+func (s CSRSource) Edges(fn func(u, v uint32) error) error {
+	return s.G.Edges(func(e memgraph.Edge) error { return fn(e.U, e.V) })
+}
+
+// BuildOptions tunes graph construction.
+type BuildOptions struct {
+	// N forces the node count; 0 derives it as max id + 1.
+	N uint32
+	// SortBudgetArcs bounds the arcs the external sorter holds in memory;
+	// 0 selects the sorter default.
+	SortBudgetArcs int
+	// TempDir holds spill runs; empty uses the target's directory.
+	TempDir string
+	// IO receives block-level accounting for the build; nil allocates a
+	// private counter.
+	IO *stats.IOCounter
+}
+
+// Build writes the graph at path prefix base from src. Every edge is
+// symmetrised into two arcs, external-sorted, deduplicated (parallel
+// edges and self-loops dropped), and streamed into the storage builder.
+func Build(base string, src EdgeSource, opts BuildOptions) error {
+	ctr := opts.IO
+	if ctr == nil {
+		ctr = stats.NewIOCounter(0)
+	}
+	dir := opts.TempDir
+	if dir == "" {
+		dir = filepath.Dir(base)
+	}
+	sorter := extsort.NewSorter(dir, opts.SortBudgetArcs, ctr)
+	n := opts.N
+	err := src.Edges(func(u, v uint32) error {
+		if u == v {
+			return nil
+		}
+		if u >= n {
+			n = u + 1
+		}
+		if v >= n {
+			n = v + 1
+		}
+		if err := sorter.Add(extsort.Arc{U: u, V: v}); err != nil {
+			return err
+		}
+		return sorter.Add(extsort.Arc{U: v, V: u})
+	})
+	if err != nil {
+		return err
+	}
+	if opts.N != 0 && n > opts.N {
+		return fmt.Errorf("graphio: edge endpoint exceeds forced node count %d", opts.N)
+	}
+
+	b, err := storage.NewBuilder(base, n, ctr)
+	if err != nil {
+		return err
+	}
+	var (
+		cur     int64 = -1
+		nbrs    []uint32
+		prevNbr int64 = -1
+	)
+	flush := func() error {
+		if cur < 0 {
+			return nil
+		}
+		return b.AppendList(uint32(cur), nbrs)
+	}
+	err = sorter.Iterate(func(a extsort.Arc) error {
+		if int64(a.U) != cur {
+			if err := flush(); err != nil {
+				return err
+			}
+			for next := cur + 1; next < int64(a.U); next++ {
+				if err := b.AppendList(uint32(next), nil); err != nil {
+					return err
+				}
+			}
+			cur = int64(a.U)
+			nbrs = nbrs[:0]
+			prevNbr = -1
+		}
+		if int64(a.V) == prevNbr {
+			return nil // duplicate arc
+		}
+		prevNbr = int64(a.V)
+		nbrs = append(nbrs, a.V)
+		return nil
+	})
+	if err != nil {
+		b.Abort()
+		return err
+	}
+	if err := flush(); err != nil {
+		b.Abort()
+		return err
+	}
+	return b.Close()
+}
+
+// WriteCSR materialises an in-memory graph on disk.
+func WriteCSR(base string, g *memgraph.CSR, ctr *stats.IOCounter) error {
+	if ctr == nil {
+		ctr = stats.NewIOCounter(0)
+	}
+	b, err := storage.NewBuilder(base, g.NumNodes(), ctr)
+	if err != nil {
+		return err
+	}
+	for v := uint32(0); v < g.NumNodes(); v++ {
+		if err := b.AppendList(v, g.Neighbors(v)); err != nil {
+			b.Abort()
+			return err
+		}
+	}
+	return b.Close()
+}
+
+// ReadToCSR loads an on-disk graph fully into memory (test and example
+// helper; defeats the semi-external model by design).
+func ReadToCSR(base string) (*memgraph.CSR, error) {
+	ctr := stats.NewIOCounter(0)
+	g, err := storage.Open(base, ctr)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	var edges []memgraph.Edge
+	err = g.Scan(0, g.NumNodes()-1, nil, func(v uint32, nbrs []uint32) error {
+		for _, u := range nbrs {
+			if u > v {
+				edges = append(edges, memgraph.Edge{U: v, V: u})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return memgraph.FromEdges(g.NumNodes(), edges)
+}
+
+// TextSource streams a whitespace-separated "u v" edge list from a file,
+// skipping blank lines and lines starting with '#' or '%'.
+type TextSource struct{ Path string }
+
+// Edges implements EdgeSource.
+func (t TextSource) Edges(fn func(u, v uint32) error) error {
+	f, err := os.Open(t.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "%") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return fmt.Errorf("graphio: %s:%d: want two fields, got %q", t.Path, line, s)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graphio: %s:%d: %w", t.Path, line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graphio: %s:%d: %w", t.Path, line, err)
+		}
+		if err := fn(uint32(u), uint32(v)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// WriteText saves an edge list (one "u v" pair per line) for interchange.
+func WriteText(path string, g *memgraph.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	err = g.Edges(func(e memgraph.Edge) error {
+		_, err := fmt.Fprintf(w, "%d %d\n", e.U, e.V)
+		return err
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CopyGraph duplicates an on-disk graph (used by experiments that mutate
+// their input via compaction).
+func CopyGraph(dstBase, srcBase string) error {
+	for _, ext := range []string{".meta", ".nt", ".et"} {
+		if err := copyFile(dstBase+ext, srcBase+ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

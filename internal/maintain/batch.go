@@ -1,0 +1,92 @@
+package maintain
+
+import (
+	"time"
+
+	"kcore/internal/memgraph"
+	"kcore/internal/stats"
+)
+
+// BatchDelete removes a set of edges and repairs core/cnt with a single
+// converge pass. This extends Algorithm 6 to batches: deletions only
+// lower core numbers (Theorem 3.1 applied edge by edge), so the old core
+// values remain upper bounds after applying the whole batch; adjusting
+// every endpoint counter first and converging once over the combined
+// window does the work of |batch| SemiDelete* calls while scanning the
+// affected region once instead of |batch| times.
+//
+// Edges are validated up front; on error the graph is left unchanged.
+func (s *Session) BatchDelete(edges []memgraph.Edge) (stats.RunStats, error) {
+	start := time.Now()
+	rs := s.beginOp("SemiDeleteBatch*")
+	if len(edges) == 0 {
+		rs.Duration = time.Since(start)
+		return rs, nil
+	}
+	// Validate first so the batch is atomic: duplicates inside the batch
+	// surface as "not present" on the second occurrence.
+	for i, e := range edges {
+		if err := s.G.DeleteEdge(e.U, e.V); err != nil {
+			// Roll back the prefix.
+			for j := 0; j < i; j++ {
+				s.G.InsertEdge(edges[j].U, edges[j].V) //nolint:errcheck // restoring known-good edges
+			}
+			return rs, err
+		}
+	}
+	core, cnt := s.St.Core, s.St.Cnt
+	n := s.G.NumNodes()
+	vmin, vmax := n-1, uint32(0)
+	touch := func(v uint32) {
+		if v < vmin {
+			vmin = v
+		}
+		if v > vmax {
+			vmax = v
+		}
+	}
+	for _, e := range edges {
+		u, v := e.U, e.V
+		switch {
+		case core[u] < core[v]:
+			cnt[u]--
+			touch(u)
+		case core[v] < core[u]:
+			cnt[v]--
+			touch(v)
+		default:
+			cnt[u]--
+			cnt[v]--
+			touch(u)
+			touch(v)
+		}
+	}
+	if err := s.St.Converge(s.G, vmin, vmax, &rs, s.Trace); err != nil {
+		return rs, err
+	}
+	rs.Duration = time.Since(start)
+	return rs, nil
+}
+
+// BatchInsert adds a set of edges, applying SemiInsert* per edge. Unlike
+// deletion, insertion raises core numbers, so old values are not upper
+// bounds after batching and no single-pass shortcut is sound (a new edge
+// between two of v's neighbours can raise core(v) without touching v);
+// this helper exists for API symmetry and amortises only the shared
+// buffer and scan machinery. Edges are validated as they are applied; on
+// error the already-inserted prefix remains applied and consistent.
+func (s *Session) BatchInsert(edges []memgraph.Edge) (stats.RunStats, error) {
+	start := time.Now()
+	total := stats.RunStats{Algorithm: "SemiInsertBatch*"}
+	for _, e := range edges {
+		rs, err := s.InsertStar(e.U, e.V)
+		if err != nil {
+			return total, err
+		}
+		total.Iterations += rs.Iterations
+		total.NodeComputations += rs.NodeComputations
+		total.UpdatedPerIter = append(total.UpdatedPerIter, rs.UpdatedPerIter...)
+	}
+	total.Duration = time.Since(start)
+	return total, nil
+}

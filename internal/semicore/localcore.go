@@ -1,0 +1,75 @@
+// Package semicore implements the paper's primary contribution: the
+// semi-external core decomposition algorithms SemiCore (Algorithm 3),
+// SemiCore+ (Algorithm 4) and SemiCore* (Algorithm 5). All three keep
+// O(n) node state in memory (intermediate core numbers, plus the active
+// bitmap or the cnt counters for the optimised variants) and stream
+// adjacency lists from a graph.Source, which may be the block-counted disk
+// tables or an in-memory CSR.
+package semicore
+
+// localCoreBuf evaluates the paper's LocalCore procedure (Algorithm 3,
+// lines 11-20): given node v's current estimate cold and its neighbours'
+// estimates, it returns the largest k with |{u in nbr(v): core(u) >= k}|
+// >= k, i.e. one application of the locality equation (Eq. 1). The num
+// histogram is retained between calls and cleared by replaying the same
+// neighbour walk, so each evaluation is O(deg(v)) with zero allocation in
+// steady state.
+type localCoreBuf struct {
+	num []uint32
+}
+
+func (b *localCoreBuf) compute(cold uint32, nbrs []uint32, core []uint32) uint32 {
+	if cold == 0 {
+		return 0
+	}
+	if len(b.num) < int(cold)+1 {
+		b.num = make([]uint32, int(cold)+1)
+	}
+	num := b.num
+	for _, u := range nbrs {
+		i := core[u]
+		if i > cold {
+			i = cold
+		}
+		num[i]++
+	}
+	s := uint32(0)
+	k := int64(cold)
+	for ; k >= 1; k-- {
+		s += num[k]
+		if s >= uint32(k) {
+			break
+		}
+	}
+	// Clear only the entries this call touched.
+	for _, u := range nbrs {
+		i := core[u]
+		if i > cold {
+			i = cold
+		}
+		num[i] = 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	return uint32(k)
+}
+
+// computeCnt is the paper's ComputeCnt procedure (Algorithm 5, lines
+// 16-20): cnt(v) = |{u in nbr(v) : core(u) >= core(v)}| (Eq. 2).
+func computeCnt(nbrs []uint32, cv uint32, core []uint32) int32 {
+	var s int32
+	for _, u := range nbrs {
+		if core[u] >= cv {
+			s++
+		}
+	}
+	return s
+}
+
+// Trace observes one finished iteration of a decomposition or maintenance
+// run: its 1-based index, the ids whose core number was recomputed this
+// iteration (the paper's grey cells), and the full core array after the
+// iteration. The core slice is live algorithm state; implementations must
+// copy what they keep.
+type Trace func(iter int, computed []uint32, core []uint32)

@@ -1,0 +1,61 @@
+package semicore
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/verify"
+)
+
+func TestParallelAgainstReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				res, err := SemiCoreParallel(g, &ParallelOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := verify.CheckAgainst(g, res.Core); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelDeterministicResult(t *testing.T) {
+	// The fixpoint is unique, so the final cores are identical across
+	// worker counts even though the schedules differ.
+	g := gen.Build(gen.RMAT(10, 8, 0.57, 0.19, 0.19, 811))
+	base, err := SemiCoreParallel(g, &ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := SemiCoreParallel(g, &ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range base.Core {
+			if res.Core[v] != base.Core[v] {
+				t.Fatalf("workers=%d: core(%d) = %d, want %d", workers, v, res.Core[v], base.Core[v])
+			}
+		}
+	}
+}
+
+func TestParallelMonotoneRounds(t *testing.T) {
+	g := gen.Build(gen.WebGraph(8, 4, 6, 30, 813))
+	res, err := SemiCoreParallel(g, &ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Stats.UpdatedPerIter
+	if len(series) == 0 || series[len(series)-1] != 0 {
+		t.Fatalf("final round must certify quiescence, got %v", series)
+	}
+	if res.Stats.Iterations != len(series) {
+		t.Fatalf("iterations %d vs series %d", res.Stats.Iterations, len(series))
+	}
+}

@@ -1,0 +1,113 @@
+package semicore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// Snapshot persistence: a converged SemiCore* state (core + cnt) can be
+// saved and restored, so a maintenance session survives process
+// restarts without re-decomposing the graph — the operational pattern
+// the paper's incremental algorithms enable (decompose once, maintain
+// forever).
+//
+// File layout (little endian): magic "KCSNAP01", n uint32, core[n]
+// uint32, cnt[n] int32, fnv64a checksum of everything before it.
+
+const snapshotMagic = "KCSNAP01"
+
+// SaveState writes the state to path atomically (write temp + rename).
+func SaveState(path string, st *State) error {
+	if len(st.Core) != len(st.Cnt) {
+		return fmt.Errorf("semicore: inconsistent state: %d core vs %d cnt", len(st.Core), len(st.Cnt))
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	w := bufio.NewWriter(io.MultiWriter(f, h))
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(st.Core)))
+	if _, err := w.Write(b4[:]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, c := range st.Core {
+		binary.LittleEndian.PutUint32(b4[:], c)
+		if _, err := w.Write(b4[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for _, c := range st.Cnt {
+		binary.LittleEndian.PutUint32(b4[:], uint32(c))
+		if _, err := w.Write(b4[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], h.Sum64())
+	if _, err := f.Write(b8[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadState reads a snapshot, verifying the checksum.
+func LoadState(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapshotMagic)+4+8 {
+		return nil, fmt.Errorf("semicore: snapshot %s truncated", path)
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("semicore: %s is not a state snapshot", path)
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return nil, fmt.Errorf("semicore: snapshot %s checksum mismatch", path)
+	}
+	off := len(snapshotMagic)
+	n := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	want := off + int(n)*8
+	if len(body) != want {
+		return nil, fmt.Errorf("semicore: snapshot %s length %d, want %d for n=%d", path, len(body), want, n)
+	}
+	st := &State{
+		Core: make([]uint32, n),
+		Cnt:  make([]int32, n),
+	}
+	for i := range st.Core {
+		st.Core[i] = binary.LittleEndian.Uint32(data[off:])
+		off += 4
+	}
+	for i := range st.Cnt {
+		st.Cnt[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	return st, nil
+}

@@ -1,0 +1,95 @@
+package semicore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kcore/internal/gen"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := gen.Build(gen.Social(300, 3, 10, 8, 401))
+	res, err := SemiCoreStar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StateFrom(res.Core, res.Cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := SaveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range st.Core {
+		if back.Core[v] != st.Core[v] || back.Cnt[v] != st.Cnt[v] {
+			t.Fatalf("node %d: got (%d,%d), want (%d,%d)",
+				v, back.Core[v], back.Cnt[v], st.Core[v], st.Cnt[v])
+		}
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	g := gen.SampleGraph()
+	res, err := SemiCoreStar(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := StateFrom(res.Core, res.Cnt)
+	if err := SaveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(path); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+	// Truncation.
+	if err := os.WriteFile(path, data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(path); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// Wrong magic.
+	bad := append([]byte("NOTMAGIC"), data[8:]...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(path); err == nil {
+		t.Fatal("wrong-magic snapshot accepted")
+	}
+	if _, err := LoadState(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSnapshotEmptyState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	if err := SaveState(path, &State{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Core) != 0 || len(back.Cnt) != 0 {
+		t.Fatal("empty state round trip not empty")
+	}
+}

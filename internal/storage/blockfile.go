@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"kcore/internal/stats"
+)
+
+// BlockFile reads a disk file through a single in-memory block buffer of
+// size B, charging one read I/O to the attached counter each time a block
+// not currently buffered is fetched. This models the minimal one-block
+// read buffer of the external-memory model: a sequential scan of F bytes
+// costs ceil(F/B) I/Os, repeated small reads inside one block cost one,
+// and a skip scan is charged only for the blocks it actually touches.
+type BlockFile struct {
+	f       *os.File
+	size    int64
+	b       int64
+	io      *stats.IOCounter
+	buf     []byte
+	blockID int64 // id of the buffered block, -1 if none
+	bufLen  int   // valid bytes in buf (short for the final block)
+}
+
+// OpenBlockFile opens path for counted reading. The counter's block size
+// determines B.
+func OpenBlockFile(path string, ctr *stats.IOCounter) (*BlockFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	b := int64(ctr.BlockSize())
+	return &BlockFile{
+		f:       f,
+		size:    fi.Size(),
+		b:       b,
+		io:      ctr,
+		buf:     make([]byte, b),
+		blockID: -1,
+	}, nil
+}
+
+// Size reports the file size in bytes.
+func (bf *BlockFile) Size() int64 { return bf.size }
+
+// Close closes the underlying file.
+func (bf *BlockFile) Close() error { return bf.f.Close() }
+
+// InvalidateBuffer drops the buffered block so the next read is charged.
+// Used by tests and by re-open paths after the file is rewritten.
+func (bf *BlockFile) InvalidateBuffer() { bf.blockID = -1 }
+
+// loadBlock fetches block id into the buffer, charging one read I/O.
+func (bf *BlockFile) loadBlock(id int64) error {
+	off := id * bf.b
+	if off >= bf.size {
+		return fmt.Errorf("storage: block %d beyond EOF (size %d)", id, bf.size)
+	}
+	want := bf.b
+	if off+want > bf.size {
+		want = bf.size - off
+	}
+	n, err := bf.f.ReadAt(bf.buf[:want], off)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if int64(n) != want {
+		return fmt.Errorf("storage: short block read: got %d want %d at off %d", n, want, off)
+	}
+	bf.blockID = id
+	bf.bufLen = n
+	bf.io.AddReadBlocks(1)
+	return nil
+}
+
+// ReadAt fills p with the bytes at offset off, fetching blocks as needed.
+func (bf *BlockFile) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > bf.size {
+		return fmt.Errorf("storage: read [%d,%d) outside file of size %d", off, off+int64(len(p)), bf.size)
+	}
+	bf.io.AddReadBytes(int64(len(p)))
+	for len(p) > 0 {
+		id := off / bf.b
+		if id != bf.blockID {
+			if err := bf.loadBlock(id); err != nil {
+				return err
+			}
+		}
+		start := off - id*bf.b
+		n := copy(p, bf.buf[start:bf.bufLen])
+		if n == 0 {
+			return fmt.Errorf("storage: zero-length copy at off %d", off)
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// BlockWriter appends to a file through a B-sized buffer, charging one
+// write I/O per flushed block. Close flushes the final partial block.
+type BlockWriter struct {
+	f      *os.File
+	b      int
+	io     *stats.IOCounter
+	buf    []byte
+	fill   int
+	offset int64
+}
+
+// CreateBlockWriter creates (truncates) path for counted writing.
+func CreateBlockWriter(path string, ctr *stats.IOCounter) (*BlockWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockWriter{
+		f:   f,
+		b:   ctr.BlockSize(),
+		io:  ctr,
+		buf: make([]byte, ctr.BlockSize()),
+	}, nil
+}
+
+// Offset reports the number of bytes written so far (buffered included).
+func (bw *BlockWriter) Offset() int64 { return bw.offset }
+
+// Write appends p, flushing full blocks as they fill.
+func (bw *BlockWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	bw.io.AddWriteBytes(int64(total))
+	for len(p) > 0 {
+		n := copy(bw.buf[bw.fill:], p)
+		bw.fill += n
+		p = p[n:]
+		bw.offset += int64(n)
+		if bw.fill == bw.b {
+			if err := bw.flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (bw *BlockWriter) flush() error {
+	if bw.fill == 0 {
+		return nil
+	}
+	if _, err := bw.f.Write(bw.buf[:bw.fill]); err != nil {
+		return err
+	}
+	bw.io.AddWriteBlocks(1)
+	bw.fill = 0
+	return nil
+}
+
+// Close flushes buffered bytes and closes the file.
+func (bw *BlockWriter) Close() error {
+	if err := bw.flush(); err != nil {
+		bw.f.Close()
+		return err
+	}
+	return bw.f.Close()
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kcore/internal/stats"
+)
+
+// Builder writes a graph to disk. Adjacency lists must be appended in
+// node-id order, one call per node, with each list sorted ascending.
+// Writes are charged to the counter at block granularity, so building is
+// itself an I/O-accounted operation (used by EMCore re-partitioning and by
+// dynamic-graph compaction).
+type Builder struct {
+	base   string
+	n      uint32
+	next   uint32
+	arcs   int64
+	nt     *BlockWriter
+	et     *BlockWriter
+	recBuf [NodeRecordSize]byte
+	arcBuf []byte
+	closed bool
+}
+
+// NewBuilder starts writing a graph with n nodes at path prefix base.
+func NewBuilder(base string, n uint32, ctr *stats.IOCounter) (*Builder, error) {
+	nt, err := CreateBlockWriter(nodePath(base), ctr)
+	if err != nil {
+		return nil, err
+	}
+	et, err := CreateBlockWriter(edgePath(base), ctr)
+	if err != nil {
+		nt.Close()
+		return nil, err
+	}
+	return &Builder{base: base, n: n, nt: nt, et: et}, nil
+}
+
+// AppendList writes nbr(v) for the next node. Lists must arrive for
+// v = 0, 1, ..., n-1 in order; missing nodes can be appended with an empty
+// list. The list must be sorted ascending and free of duplicates and
+// self-loops; Builder verifies ordering cheaply and rejects violations.
+func (b *Builder) AppendList(v uint32, nbrs []uint32) error {
+	if b.closed {
+		return fmt.Errorf("storage: AppendList on closed builder")
+	}
+	if v != b.next {
+		return fmt.Errorf("storage: AppendList out of order: got node %d, want %d", v, b.next)
+	}
+	if v >= b.n {
+		return fmt.Errorf("storage: node %d out of range [0,%d)", v, b.n)
+	}
+	binary.LittleEndian.PutUint64(b.recBuf[0:8], uint64(b.arcs))
+	binary.LittleEndian.PutUint32(b.recBuf[8:12], uint32(len(nbrs)))
+	if _, err := b.nt.Write(b.recBuf[:]); err != nil {
+		return err
+	}
+	need := len(nbrs) * ArcSize
+	if cap(b.arcBuf) < need {
+		b.arcBuf = make([]byte, need)
+	}
+	raw := b.arcBuf[:need]
+	prev := int64(-1)
+	for i, u := range nbrs {
+		if u == v {
+			return fmt.Errorf("storage: self-loop %d stored for node %d", u, v)
+		}
+		if int64(u) <= prev {
+			return fmt.Errorf("storage: adjacency of %d not strictly ascending at index %d", v, i)
+		}
+		if u >= b.n {
+			return fmt.Errorf("storage: neighbour %d of node %d out of range [0,%d)", u, v, b.n)
+		}
+		prev = int64(u)
+		binary.LittleEndian.PutUint32(raw[i*ArcSize:], u)
+	}
+	if _, err := b.et.Write(raw); err != nil {
+		return err
+	}
+	b.arcs += int64(len(nbrs))
+	b.next++
+	return nil
+}
+
+// Arcs reports the number of arcs appended so far.
+func (b *Builder) Arcs() int64 { return b.arcs }
+
+// Close pads any unwritten nodes with empty lists, flushes both tables and
+// writes the meta file.
+func (b *Builder) Close() error {
+	if b.closed {
+		return nil
+	}
+	for b.next < b.n {
+		if err := b.AppendList(b.next, nil); err != nil {
+			return err
+		}
+	}
+	b.closed = true
+	if err := b.nt.Close(); err != nil {
+		b.et.Close()
+		return err
+	}
+	if err := b.et.Close(); err != nil {
+		return err
+	}
+	return WriteMeta(b.base, Meta{Version: FormatVersion, N: b.n, Arcs: b.arcs})
+}
+
+// Abort closes the partial files without writing a meta header, leaving
+// the target unreadable rather than silently truncated.
+func (b *Builder) Abort() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.nt.Close()
+	b.et.Close()
+}

@@ -1,0 +1,293 @@
+// Package storage implements the on-disk graph representation the paper
+// prescribes: an edge table that stores nbr(v1), nbr(v2), ... consecutively
+// as adjacency lists, and a node table that stores the offset and degree of
+// every node. Both tables are read through one-block buffers so that every
+// algorithm's I/O is counted in B-sized block transfers.
+//
+// A graph <base> occupies three files:
+//
+//	<base>.meta  text header (version, node count, arc count)
+//	<base>.nt    node table: n records of {offset uint64, degree uint32}
+//	<base>.et    edge table: arcs uint32 neighbour ids, lists concatenated
+//
+// Offsets are arc indexes (not bytes) into the edge table. Graphs are
+// undirected: every edge {u,v} is stored as the two arcs u→v and v→u, and
+// each adjacency list is sorted ascending.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kcore/internal/graph"
+	"kcore/internal/stats"
+)
+
+const (
+	// FormatVersion identifies the on-disk layout.
+	FormatVersion = 1
+	// NodeRecordSize is the byte size of one node-table record.
+	NodeRecordSize = 12
+	// ArcSize is the byte size of one edge-table entry.
+	ArcSize = 4
+)
+
+// Meta is the parsed contents of a <base>.meta file.
+type Meta struct {
+	Version int
+	N       uint32
+	Arcs    int64
+}
+
+// metaPath, nodePath and edgePath derive the three file names of a graph.
+func metaPath(base string) string { return base + ".meta" }
+func nodePath(base string) string { return base + ".nt" }
+func edgePath(base string) string { return base + ".et" }
+
+// WriteMeta writes the header file for a graph.
+func WriteMeta(base string, m Meta) error {
+	f, err := os.Create(metaPath(base))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "version=%d\n", m.Version)
+	fmt.Fprintf(w, "nodes=%d\n", m.N)
+	fmt.Fprintf(w, "arcs=%d\n", m.Arcs)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMeta parses the header file for a graph.
+func ReadMeta(base string) (Meta, error) {
+	var m Meta
+	data, err := os.ReadFile(metaPath(base))
+	if err != nil {
+		return m, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return m, fmt.Errorf("storage: malformed meta line %q", line)
+		}
+		x, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return m, fmt.Errorf("storage: meta value %q: %w", line, err)
+		}
+		switch key {
+		case "version":
+			m.Version = int(x)
+		case "nodes":
+			m.N = uint32(x)
+		case "arcs":
+			m.Arcs = x
+		default:
+			return m, fmt.Errorf("storage: unknown meta key %q", key)
+		}
+	}
+	if m.Version != FormatVersion {
+		return m, fmt.Errorf("storage: unsupported format version %d", m.Version)
+	}
+	return m, nil
+}
+
+// Graph is a read handle over an on-disk graph. All reads are charged to
+// the counter passed at Open time. A Graph holds O(1) memory: one block
+// buffer per table plus scratch reused across calls.
+type Graph struct {
+	base string
+	meta Meta
+	nt   *BlockFile
+	et   *BlockFile
+	io   *stats.IOCounter
+
+	recBuf [NodeRecordSize]byte
+	nbrBuf []byte // scratch for neighbour byte decoding
+}
+
+// Open opens the graph stored at base, charging subsequent reads to ctr.
+func Open(base string, ctr *stats.IOCounter) (*Graph, error) {
+	meta, err := ReadMeta(base)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := OpenBlockFile(nodePath(base), ctr)
+	if err != nil {
+		return nil, err
+	}
+	if want := int64(meta.N) * NodeRecordSize; nt.Size() != want {
+		nt.Close()
+		return nil, fmt.Errorf("storage: node table size %d, want %d", nt.Size(), want)
+	}
+	et, err := OpenBlockFile(edgePath(base), ctr)
+	if err != nil {
+		nt.Close()
+		return nil, err
+	}
+	if want := meta.Arcs * ArcSize; et.Size() != want {
+		nt.Close()
+		et.Close()
+		return nil, fmt.Errorf("storage: edge table size %d, want %d", et.Size(), want)
+	}
+	return &Graph{base: base, meta: meta, nt: nt, et: et, io: ctr}, nil
+}
+
+// Close releases the underlying files.
+func (g *Graph) Close() error {
+	err1 := g.nt.Close()
+	err2 := g.et.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Base reports the path prefix the graph was opened from.
+func (g *Graph) Base() string { return g.base }
+
+// NumNodes reports n.
+func (g *Graph) NumNodes() uint32 { return g.meta.N }
+
+// NumArcs reports the number of stored arcs (2x the number of undirected
+// edges).
+func (g *Graph) NumArcs() int64 { return g.meta.Arcs }
+
+// NumEdges reports the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.meta.Arcs / 2 }
+
+// IOCounter exposes the counter reads are charged to.
+func (g *Graph) IOCounter() *stats.IOCounter { return g.io }
+
+// NodeRecord reads node v's record from the node table: the arc offset of
+// its adjacency list and its degree. The read is charged at block
+// granularity.
+func (g *Graph) NodeRecord(v uint32) (offset int64, degree uint32, err error) {
+	if v >= g.meta.N {
+		return 0, 0, fmt.Errorf("storage: node %d out of range [0,%d)", v, g.meta.N)
+	}
+	if err := g.nt.ReadAt(g.recBuf[:], int64(v)*NodeRecordSize); err != nil {
+		return 0, 0, err
+	}
+	offset = int64(binary.LittleEndian.Uint64(g.recBuf[0:8]))
+	degree = binary.LittleEndian.Uint32(g.recBuf[8:12])
+	return offset, degree, nil
+}
+
+// Degree reads node v's degree from the node table.
+func (g *Graph) Degree(v uint32) (uint32, error) {
+	_, d, err := g.NodeRecord(v)
+	return d, err
+}
+
+// Neighbors loads nbr(v) from the edge table, appending into buf (which
+// may be nil) and returning the filled slice. The returned slice is sorted
+// ascending, as stored.
+func (g *Graph) Neighbors(v uint32, buf []uint32) ([]uint32, error) {
+	off, deg, err := g.NodeRecord(v)
+	if err != nil {
+		return nil, err
+	}
+	return g.readList(off, deg, buf)
+}
+
+// readList fetches deg arcs starting at arc offset off.
+func (g *Graph) readList(off int64, deg uint32, buf []uint32) ([]uint32, error) {
+	need := int(deg) * ArcSize
+	if cap(g.nbrBuf) < need {
+		g.nbrBuf = make([]byte, need)
+	}
+	raw := g.nbrBuf[:need]
+	if err := g.et.ReadAt(raw, off*ArcSize); err != nil {
+		return nil, err
+	}
+	if cap(buf) < int(deg) {
+		buf = make([]uint32, deg)
+	}
+	buf = buf[:deg]
+	for i := range buf {
+		buf[i] = binary.LittleEndian.Uint32(raw[i*ArcSize:])
+	}
+	return buf, nil
+}
+
+// ScanDegrees streams (v, deg(v)) for all nodes via a sequential scan of
+// the node table.
+func (g *Graph) ScanDegrees(fn func(v uint32, deg uint32) error) error {
+	for v := uint32(0); v < g.meta.N; v++ {
+		_, d, err := g.NodeRecord(v)
+		if err != nil {
+			return err
+		}
+		if err := fn(v, d); err != nil {
+			if graph.IsStop(err) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan performs the paper's partial sequential scan: it walks nodes from
+// vmin to vmax inclusive, consults want(v) (nil means every node), and for
+// wanted nodes loads nbr(v) and invokes fn. Node-table records of skipped
+// nodes are not touched: the scan seeks directly between wanted records,
+// so only the blocks containing wanted data are fetched. The neighbour
+// slice passed to fn is reused across calls; fn must not retain it.
+//
+// want may mutate state that changes later want results, and fn may cause
+// vmax to grow logically; callers needing a dynamic upper bound use
+// ScanDynamic.
+func (g *Graph) Scan(vmin, vmax uint32, want func(v uint32) bool, fn func(v uint32, nbrs []uint32) error) error {
+	cur := vmax
+	return g.ScanDynamic(vmin, func() uint32 { return cur }, want, fn)
+}
+
+// ScanDynamic is Scan with a callable upper bound, re-evaluated after each
+// node, supporting algorithms (SemiCore+/SemiCore*) that extend vmax while
+// the scan is in flight.
+func (g *Graph) ScanDynamic(vmin uint32, vmaxFn func() uint32, want func(v uint32) bool, fn func(v uint32, nbrs []uint32) error) error {
+	if g.meta.N == 0 {
+		return nil
+	}
+	var nbrs []uint32
+	for v := vmin; v <= vmaxFn() && v < g.meta.N; v++ {
+		if want != nil && !want(v) {
+			continue
+		}
+		off, deg, err := g.NodeRecord(v)
+		if err != nil {
+			return err
+		}
+		nbrs, err = g.readList(off, deg, nbrs)
+		if err != nil {
+			return err
+		}
+		if err := fn(v, nbrs); err != nil {
+			if graph.IsStop(err) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateBuffers drops both tables' block buffers, forcing the next
+// reads to be charged. Algorithm drivers call this between runs so counts
+// are independent.
+func (g *Graph) InvalidateBuffers() {
+	g.nt.InvalidateBuffer()
+	g.et.InvalidateBuffer()
+}

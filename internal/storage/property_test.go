@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kcore/internal/stats"
+)
+
+// TestPropertyRoundTrip builds random adjacency structures under random
+// block sizes and checks byte-exact reads plus the exact sequential-scan
+// I/O formula.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, rawBlock uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		blockSize := 64 + int(rawBlock)%4032 // 64..4095
+		n := 1 + r.Intn(200)
+		adj := make([][]uint32, n)
+		var arcs int64
+		for v := 0; v < n; v++ {
+			deg := r.Intn(8)
+			seen := map[uint32]bool{}
+			for i := 0; i < deg; i++ {
+				u := uint32(r.Intn(n))
+				if int(u) == v || seen[u] {
+					continue
+				}
+				seen[u] = true
+				adj[v] = append(adj[v], u)
+			}
+			sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+			arcs += int64(len(adj[v]))
+		}
+		base := filepath.Join(t.TempDir(), "g")
+		ctr := stats.NewIOCounter(blockSize)
+		b, err := NewBuilder(base, uint32(n), ctr)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if err := b.AppendList(uint32(v), adj[v]); err != nil {
+				return false
+			}
+		}
+		if err := b.Close(); err != nil {
+			return false
+		}
+		rctr := stats.NewIOCounter(blockSize)
+		g, err := Open(base, rctr)
+		if err != nil {
+			return false
+		}
+		defer g.Close()
+		if g.NumArcs() != arcs {
+			return false
+		}
+		ok := true
+		err = g.Scan(0, uint32(n-1), nil, func(v uint32, nbrs []uint32) error {
+			if len(nbrs) != len(adj[v]) {
+				ok = false
+				return nil
+			}
+			for i := range nbrs {
+				if nbrs[i] != adj[v][i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		if err != nil || !ok {
+			return false
+		}
+		B := int64(blockSize)
+		want := (int64(n)*NodeRecordSize+B-1)/B + (arcs*ArcSize+B-1)/B
+		if arcs == 0 {
+			want = (int64(n)*NodeRecordSize + B - 1) / B // edge table never touched
+		}
+		return rctr.Reads() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomAccessCost verifies the random-access cost model:
+// reading one node's neighbours touches at most 2 node-table blocks and
+// ceil(deg*4/B)+1 edge-table blocks.
+func TestPropertyRandomAccessCost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(400)
+		adj := make([][]uint32, n)
+		for v := 0; v < n; v++ {
+			for u := v - 3; u < v+4; u++ {
+				if u >= 0 && u < n && u != v {
+					adj[v] = append(adj[v], uint32(u))
+				}
+			}
+		}
+		base := filepath.Join(t.TempDir(), "g")
+		blockSize := 256
+		ctr := stats.NewIOCounter(blockSize)
+		b, err := NewBuilder(base, uint32(n), ctr)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if err := b.AppendList(uint32(v), adj[v]); err != nil {
+				return false
+			}
+		}
+		if err := b.Close(); err != nil {
+			return false
+		}
+		rctr := stats.NewIOCounter(blockSize)
+		g, err := Open(base, rctr)
+		if err != nil {
+			return false
+		}
+		defer g.Close()
+		for trial := 0; trial < 20; trial++ {
+			v := uint32(r.Intn(n))
+			g.InvalidateBuffers()
+			before := rctr.Reads()
+			nbrs, err := g.Neighbors(v, nil)
+			if err != nil {
+				return false
+			}
+			cost := rctr.Reads() - before
+			maxCost := int64(2) + int64(len(nbrs)*ArcSize+blockSize-1)/int64(blockSize) + 1
+			if cost > maxCost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

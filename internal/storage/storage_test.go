@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kcore/internal/graph"
+	"kcore/internal/stats"
+)
+
+// buildGraph writes a small graph and reopens it with a fresh counter.
+func buildGraph(t *testing.T, adj [][]uint32, blockSize int) (*Graph, *stats.IOCounter) {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "g")
+	ctr := stats.NewIOCounter(blockSize)
+	b, err := NewBuilder(base, uint32(len(adj)), ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, nbrs := range adj {
+		if err := b.AppendList(uint32(v), nbrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rctr := stats.NewIOCounter(blockSize)
+	g, err := Open(base, rctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, rctr
+}
+
+var sampleAdj = [][]uint32{
+	{1, 2, 3},
+	{0, 2, 3},
+	{0, 1, 3, 4},
+	{0, 1, 2, 4, 5, 6},
+	{2, 3, 5},
+	{3, 4, 6, 7, 8},
+	{3, 5, 7},
+	{5, 6},
+	{5},
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, _ := buildGraph(t, sampleAdj, 0)
+	if g.NumNodes() != 9 {
+		t.Fatalf("n = %d, want 9", g.NumNodes())
+	}
+	if g.NumArcs() != 30 || g.NumEdges() != 15 {
+		t.Fatalf("arcs = %d edges = %d, want 30/15", g.NumArcs(), g.NumEdges())
+	}
+	for v, want := range sampleAdj {
+		got, err := g.Neighbors(uint32(v), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("nbr(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nbr(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	if d, _ := g.Degree(3); d != 6 {
+		t.Fatalf("deg(3) = %d, want 6", d)
+	}
+}
+
+func TestSequentialScanIOCount(t *testing.T) {
+	// With B = 64 the node table is 9*12 = 108 bytes = 2 blocks and the
+	// edge table 30*4 = 120 bytes = 2 blocks; a full scan must cost
+	// exactly 4 read I/Os.
+	g, ctr := buildGraph(t, sampleAdj, 64)
+	visited := 0
+	err := g.Scan(0, g.NumNodes()-1, nil, func(v uint32, nbrs []uint32) error {
+		visited++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 9 {
+		t.Fatalf("visited %d nodes, want 9", visited)
+	}
+	if got := ctr.Reads(); got != 4 {
+		t.Fatalf("full scan cost %d read I/Os, want 4", got)
+	}
+	// A second full scan re-fetches all four blocks: the one-block buffer
+	// holds each table's tail, which is evicted as soon as the scan
+	// returns to the head.
+	before := ctr.Reads()
+	if err := g.Scan(0, g.NumNodes()-1, nil, func(uint32, []uint32) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Reads() - before; got != 4 {
+		t.Fatalf("second scan cost %d read I/Os, want 4", got)
+	}
+}
+
+func TestPartialScanSkipsBlocks(t *testing.T) {
+	// 200 nodes in a long path; with B = 4096 a want-predicate selecting
+	// only node 0 must touch exactly 1 node-table block + 1 edge-table
+	// block, not the ~? blocks of a full scan.
+	n := 600
+	adj := make([][]uint32, n)
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			adj[v] = append(adj[v], uint32(v-1))
+		}
+		if v < n-1 {
+			adj[v] = append(adj[v], uint32(v+1))
+		}
+	}
+	g, ctr := buildGraph(t, adj, 512)
+	err := g.Scan(0, g.NumNodes()-1, func(v uint32) bool { return v == 0 }, func(v uint32, nbrs []uint32) error {
+		if v != 0 || len(nbrs) != 1 || nbrs[0] != 1 {
+			t.Fatalf("unexpected visit v=%d nbrs=%v", v, nbrs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Reads(); got != 2 {
+		t.Fatalf("single-node scan cost %d read I/Os, want 2", got)
+	}
+	// Full scan for comparison: node table 600*12/512 = 15 blocks (ceil
+	// 7200/512=15 exact), edge table 1198*4 = 4792 bytes -> 10 blocks.
+	ctr.Reset()
+	g.InvalidateBuffers()
+	if err := g.Scan(0, g.NumNodes()-1, nil, func(uint32, []uint32) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Reads(); got != 25 {
+		t.Fatalf("full scan cost %d read I/Os, want 25", got)
+	}
+}
+
+func TestScanDynamicExtendsWindow(t *testing.T) {
+	g, _ := buildGraph(t, sampleAdj, 0)
+	var visited []uint32
+	curMax := uint32(2)
+	err := g.ScanDynamic(0, func() uint32 { return curMax }, nil, func(v uint32, nbrs []uint32) error {
+		visited = append(visited, v)
+		if v == 1 {
+			curMax = 4 // extend mid-scan
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 5 || visited[4] != 4 {
+		t.Fatalf("visited = %v, want [0 1 2 3 4]", visited)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	g, _ := buildGraph(t, sampleAdj, 0)
+	count := 0
+	err := g.Scan(0, g.NumNodes()-1, nil, func(v uint32, nbrs []uint32) error {
+		count++
+		if v == 3 {
+			return graph.ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop leaked: %v", err)
+	}
+	if count != 4 {
+		t.Fatalf("visited %d nodes before stop, want 4", count)
+	}
+}
+
+func TestBuilderRejectsMalformedLists(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "g")
+	ctr := stats.NewIOCounter(0)
+	b, err := NewBuilder(base, 5, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Abort()
+	if err := b.AppendList(1, nil); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if err := b.AppendList(0, []uint32{0}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := b.AppendList(0, []uint32{3, 2}); err == nil {
+		t.Fatal("descending list accepted")
+	}
+	if err := b.AppendList(0, []uint32{2, 2}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := b.AppendList(0, []uint32{9}); err == nil {
+		t.Fatal("out-of-range neighbour accepted")
+	}
+}
+
+func TestBuilderPadsMissingNodes(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "g")
+	ctr := stats.NewIOCounter(0)
+	b, err := NewBuilder(base, 4, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendList(0, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendList(1, []uint32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base, stats.NewIOCounter(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if d, _ := g.Degree(3); d != 0 {
+		t.Fatalf("padded node degree = %d, want 0", d)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "g")
+	ctr := stats.NewIOCounter(0)
+	b, err := NewBuilder(base, 3, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendList(0, []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated edge table must be rejected.
+	et := base + ".et"
+	data, err := os.ReadFile(et)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(et, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(base, ctr); err == nil || !strings.Contains(err.Error(), "edge table size") {
+		t.Fatalf("truncated edge table: err = %v", err)
+	}
+	if err := os.WriteFile(et, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt meta must be rejected.
+	if err := os.WriteFile(base+".meta", []byte("version=99\nnodes=3\narcs=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(base, ctr); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if err := os.WriteFile(base+".meta", []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(base, ctr); err == nil {
+		t.Fatal("malformed meta accepted")
+	}
+}
+
+func TestNodeRecordOutOfRange(t *testing.T) {
+	g, _ := buildGraph(t, sampleAdj, 0)
+	if _, _, err := g.NodeRecord(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestBlockWriterCounts(t *testing.T) {
+	dir := t.TempDir()
+	ctr := stats.NewIOCounter(64)
+	w, err := CreateBlockWriter(filepath.Join(dir, "f"), ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 200) // 200 bytes over B=64 -> 4 write I/Os
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Writes(); got != 4 {
+		t.Fatalf("writes = %d, want 4", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package verify holds deliberately simple reference implementations of
+// core decomposition, used only in tests and experiment sanity checks.
+// They are written differently from the production algorithms (no bin
+// sort, no locality fixpoint bookkeeping) so that agreement between the
+// two families is meaningful differential evidence.
+package verify
+
+import (
+	"fmt"
+
+	"kcore/internal/memgraph"
+)
+
+// CoresByRepeatedRemoval computes core numbers by the definition: for
+// k = 0, 1, 2, ... repeatedly delete every node of residual degree <= k
+// until none remains, assigning core number k to nodes deleted in round k.
+// O(kmax * (n+m)) — fine for test graphs, independent of the fast paths.
+func CoresByRepeatedRemoval(g *memgraph.CSR) []uint32 {
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	alive := make([]bool, n)
+	core := make([]uint32, n)
+	remaining := int64(0)
+	for v := uint32(0); v < n; v++ {
+		deg[v] = int64(g.Degree(v))
+		alive[v] = true
+		remaining++
+	}
+	queue := make([]uint32, 0, n)
+	for k := uint32(0); remaining > 0; k++ {
+		queue = queue[:0]
+		for v := uint32(0); v < n; v++ {
+			if alive[v] && deg[v] <= int64(k) {
+				queue = append(queue, v)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if !alive[v] {
+				continue
+			}
+			alive[v] = false
+			remaining--
+			core[v] = k
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					deg[u]--
+					if deg[u] <= int64(k) {
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	return core
+}
+
+// CoresByFixpoint computes core numbers by iterating the locality equation
+// core(v) = max k s.t. |{u in nbr(v) : core(u) >= k}| >= k from the degree
+// upper bound until no value changes (the Montresor et al. distributed
+// formulation the paper builds on). A third independent oracle.
+func CoresByFixpoint(g *memgraph.CSR) []uint32 {
+	n := g.NumNodes()
+	core := make([]uint32, n)
+	for v := uint32(0); v < n; v++ {
+		core[v] = g.Degree(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := uint32(0); v < n; v++ {
+			nv := localCore(core[v], g.Neighbors(v), core)
+			if nv != core[v] {
+				core[v] = nv
+				changed = true
+			}
+		}
+	}
+	return core
+}
+
+// localCore evaluates the locality equation for one node given the current
+// estimate cold and its neighbour estimates.
+func localCore(cold uint32, nbrs []uint32, core []uint32) uint32 {
+	if cold == 0 {
+		return 0
+	}
+	num := make([]uint32, cold+1)
+	for _, u := range nbrs {
+		c := core[u]
+		if c > cold {
+			c = cold
+		}
+		num[c]++
+	}
+	s := uint32(0)
+	for k := cold; k >= 1; k-- {
+		s += num[k]
+		if s >= k {
+			return k
+		}
+	}
+	return 0
+}
+
+// CheckLocality verifies Theorem 4.1 for a finished assignment: every node
+// has at least core(v) neighbours with core >= core(v), and no node could
+// sustain core(v)+1. A nil error means the assignment is a valid core
+// decomposition (together with the upper-bound property checked by
+// CheckAgainst).
+func CheckLocality(g *memgraph.CSR, core []uint32) error {
+	n := g.NumNodes()
+	if len(core) != int(n) {
+		return fmt.Errorf("verify: core array length %d, want %d", len(core), n)
+	}
+	for v := uint32(0); v < n; v++ {
+		atLeast, atLeastPlus := 0, 0
+		for _, u := range g.Neighbors(v) {
+			if core[u] >= core[v] {
+				atLeast++
+			}
+			if core[u] >= core[v]+1 {
+				atLeastPlus++
+			}
+		}
+		if uint32(atLeast) < core[v] {
+			return fmt.Errorf("verify: node %d has core %d but only %d neighbours with core >= %d",
+				v, core[v], atLeast, core[v])
+		}
+		if uint32(atLeastPlus) >= core[v]+1 {
+			return fmt.Errorf("verify: node %d has core %d but %d neighbours with core >= %d (should be < %d)",
+				v, core[v], atLeastPlus, core[v]+1, core[v]+1)
+		}
+	}
+	return nil
+}
+
+// CheckAgainst compares a computed assignment with the reference for g and
+// reports the first mismatch.
+func CheckAgainst(g *memgraph.CSR, got []uint32) error {
+	want := CoresByRepeatedRemoval(g)
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: core array length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return fmt.Errorf("verify: core(%d) = %d, want %d", v, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+// Kmax reports the maximum core number in an assignment.
+func Kmax(core []uint32) uint32 {
+	var k uint32
+	for _, c := range core {
+		if c > k {
+			k = c
+		}
+	}
+	return k
+}
+
+// CntFor computes the SemiCore* support counters (Eq. 2) for a converged
+// assignment: cnt(v) = |{u in nbr(v) : core(u) >= core(v)}|.
+func CntFor(g *memgraph.CSR, core []uint32) []int32 {
+	n := g.NumNodes()
+	cnt := make([]int32, n)
+	for v := uint32(0); v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if core[u] >= core[v] {
+				cnt[v]++
+			}
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,107 @@
+// Package kcore is an I/O-efficient core decomposition library for
+// web-scale graphs, reproducing Wen, Qin, Zhang, Lin and Yu, "I/O
+// Efficient Core Graph Decomposition at Web Scale" (ICDE 2016).
+//
+// Core decomposition assigns every node v of an undirected graph its core
+// number: the largest k such that v belongs to a subgraph in which every
+// node has degree at least k. The paper's contribution — and this
+// package's default behaviour — is the semi-external algorithm family
+// (SemiCore, SemiCore+, SemiCore*) that keeps only O(n) node state in
+// memory while streaming the edges from disk, plus incremental
+// maintenance (SemiDelete*, SemiInsert, SemiInsert*) that keeps core
+// numbers exact as edges are inserted and deleted.
+//
+// Basic usage:
+//
+//	err := kcore.Build("/data/mygraph", kcore.SliceEdges(edges), nil)
+//	g, err := kcore.Open("/data/mygraph", nil)
+//	defer g.Close()
+//	res, err := kcore.Decompose(g, nil) // SemiCore*
+//	fmt.Println("degeneracy:", res.Kmax)
+//
+// Incremental maintenance:
+//
+//	m, err := kcore.NewMaintainer(g, nil)
+//	op, err := m.InsertEdge(7, 8) // SemiInsert*
+//	op, err = m.DeleteEdge(7, 8)  // SemiDelete*
+//	cores := m.Cores()
+//
+// All disk access is counted in block-granularity I/Os (the external-
+// memory model): see Graph.IOStats.
+package kcore
+
+import (
+	"time"
+
+	"kcore/internal/memgraph"
+	"kcore/internal/stats"
+)
+
+// Edge is an undirected edge between two node ids. Node ids are dense
+// uint32 indexes in [0, NumNodes).
+type Edge = memgraph.Edge
+
+// IOStats reports block-level I/O in the external-memory model: Reads and
+// Writes count transfers of BlockSize-byte blocks.
+type IOStats struct {
+	BlockSize  int
+	Reads      int64
+	Writes     int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Total reports reads plus writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the component-wise difference s minus prev.
+func (s IOStats) Sub(prev IOStats) IOStats {
+	return IOStats{
+		BlockSize:  s.BlockSize,
+		Reads:      s.Reads - prev.Reads,
+		Writes:     s.Writes - prev.Writes,
+		ReadBytes:  s.ReadBytes - prev.ReadBytes,
+		WriteBytes: s.WriteBytes - prev.WriteBytes,
+	}
+}
+
+func ioStatsFrom(s stats.IOSnapshot) IOStats {
+	return IOStats{
+		BlockSize:  s.BlockSize,
+		Reads:      s.Reads,
+		Writes:     s.Writes,
+		ReadBytes:  s.ReadBytes,
+		WriteBytes: s.WriteBytes,
+	}
+}
+
+// RunInfo summarises one algorithm execution.
+type RunInfo struct {
+	// Algorithm names the variant that ran (e.g. "SemiCore*").
+	Algorithm string
+	// Iterations is the number of node-range passes (the paper's l).
+	Iterations int
+	// NodeComputations counts neighbour-list loads feeding a core
+	// recomputation.
+	NodeComputations int64
+	// UpdatedPerIter is the per-iteration count of changed core numbers.
+	UpdatedPerIter []int64
+	// IO is the block I/O performed by this run (delta, not cumulative).
+	IO IOStats
+	// MemPeakBytes is the algorithm's deterministic model memory peak.
+	MemPeakBytes int64
+	// Duration is wall-clock time.
+	Duration time.Duration
+}
+
+func runInfoFrom(rs stats.RunStats, io IOStats) RunInfo {
+	return RunInfo{
+		Algorithm:        rs.Algorithm,
+		Iterations:       rs.Iterations,
+		NodeComputations: rs.NodeComputations,
+		UpdatedPerIter:   append([]int64(nil), rs.UpdatedPerIter...),
+		IO:               io,
+		MemPeakBytes:     rs.MemPeakBytes,
+		Duration:         rs.Duration,
+	}
+}

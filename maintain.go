@@ -1,0 +1,161 @@
+package kcore
+
+import (
+	"fmt"
+
+	"kcore/internal/maintain"
+	"kcore/internal/semicore"
+	"kcore/internal/stats"
+)
+
+// InsertAlgorithm selects a maintenance strategy for edge insertion.
+type InsertAlgorithm int
+
+const (
+	// SemiInsertStar is Algorithm 8 (the default): one-phase insertion
+	// with node statuses and the speculative cnt* counter.
+	SemiInsertStar InsertAlgorithm = iota
+	// SemiInsertTwoPhase is Algorithm 7: flood the pure-core candidate
+	// set, raise it wholesale, then re-converge.
+	SemiInsertTwoPhase
+)
+
+// String names the variant as in the paper.
+func (a InsertAlgorithm) String() string {
+	if a == SemiInsertTwoPhase {
+		return "SemiInsert"
+	}
+	return "SemiInsert*"
+}
+
+// MaintainerOptions tunes a maintenance session.
+type MaintainerOptions struct {
+	// Insert selects the insertion algorithm (default SemiInsertStar).
+	Insert InsertAlgorithm
+	// FromResult reuses an existing SemiCore* decomposition of this
+	// exact graph instead of recomputing one; the Result must come from
+	// Decompose with the SemiCoreStar algorithm.
+	FromResult *Result
+}
+
+// Maintainer keeps the core numbers of a Graph exact across edge
+// insertions (SemiInsert/SemiInsert*) and deletions (SemiDelete*). All
+// updates go through the graph's buffered overlay; compactions to disk
+// happen automatically and are counted as write I/O.
+type Maintainer struct {
+	g       *Graph
+	session *maintain.Session
+	insert  InsertAlgorithm
+}
+
+// NewMaintainer starts a maintenance session, decomposing the graph with
+// SemiCore* first unless opts.FromResult supplies the state.
+func NewMaintainer(g *Graph, opts *MaintainerOptions) (*Maintainer, error) {
+	var o MaintainerOptions
+	if opts != nil {
+		o = *opts
+	}
+	var session *maintain.Session
+	if o.FromResult != nil {
+		if o.FromResult.cnt == nil {
+			return nil, fmt.Errorf("kcore: FromResult must come from the SemiCoreStar algorithm")
+		}
+		if uint32(len(o.FromResult.Core)) != g.NumNodes() {
+			return nil, fmt.Errorf("kcore: FromResult covers %d nodes, graph has %d",
+				len(o.FromResult.Core), g.NumNodes())
+		}
+		st, err := semicore.StateFrom(o.FromResult.Core, o.FromResult.cnt)
+		if err != nil {
+			return nil, err
+		}
+		session = maintain.SessionFrom(g.dyn, st)
+	} else {
+		var err error
+		session, err = maintain.NewSession(g.dyn, stats.NewMemModel())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Maintainer{g: g, session: session, insert: o.Insert}, nil
+}
+
+// Cores returns the live core-number array. It is valid after every
+// operation; callers must copy it if they mutate or retain it across
+// operations.
+func (m *Maintainer) Cores() []uint32 { return m.session.Core() }
+
+// CoreOf reports the current core number of v.
+func (m *Maintainer) CoreOf(v uint32) (uint32, error) {
+	if v >= m.g.NumNodes() {
+		return 0, fmt.Errorf("kcore: node %d out of range [0,%d)", v, m.g.NumNodes())
+	}
+	return m.session.Core()[v], nil
+}
+
+// InsertEdge adds {u,v} and incrementally repairs all core numbers.
+func (m *Maintainer) InsertEdge(u, v uint32) (RunInfo, error) {
+	before := m.g.IOStats()
+	var rs stats.RunStats
+	var err error
+	if m.insert == SemiInsertTwoPhase {
+		rs, err = m.session.InsertTwoPhase(u, v)
+	} else {
+		rs, err = m.session.InsertStar(u, v)
+	}
+	if err != nil {
+		return RunInfo{}, err
+	}
+	return runInfoFrom(rs, m.g.IOStats().Sub(before)), nil
+}
+
+// DeleteEdge removes {u,v} and incrementally repairs all core numbers
+// (SemiDelete*).
+func (m *Maintainer) DeleteEdge(u, v uint32) (RunInfo, error) {
+	before := m.g.IOStats()
+	rs, err := m.session.DeleteStar(u, v)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	return runInfoFrom(rs, m.g.IOStats().Sub(before)), nil
+}
+
+// DeleteEdges removes a batch of edges with a single converge pass —
+// cheaper than one DeleteEdge per edge when the batch is large, because
+// the affected region is scanned once. The batch is atomic: if any edge
+// is invalid, the graph is left unchanged.
+func (m *Maintainer) DeleteEdges(edges []Edge) (RunInfo, error) {
+	before := m.g.IOStats()
+	rs, err := m.session.BatchDelete(edges)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	return runInfoFrom(rs, m.g.IOStats().Sub(before)), nil
+}
+
+// InsertEdges adds a batch of edges, applying the configured insertion
+// algorithm per edge (no sound single-pass shortcut exists for
+// insertions; see internal/maintain.BatchInsert).
+func (m *Maintainer) InsertEdges(edges []Edge) (RunInfo, error) {
+	if m.insert == SemiInsertTwoPhase {
+		var total RunInfo
+		before := m.g.IOStats()
+		for _, e := range edges {
+			info, err := m.InsertEdge(e.U, e.V)
+			if err != nil {
+				return total, err
+			}
+			total.Iterations += info.Iterations
+			total.NodeComputations += info.NodeComputations
+			total.Duration += info.Duration
+		}
+		total.Algorithm = "SemiInsert (batch)"
+		total.IO = m.g.IOStats().Sub(before)
+		return total, nil
+	}
+	before := m.g.IOStats()
+	rs, err := m.session.BatchInsert(edges)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	return runInfoFrom(rs, m.g.IOStats().Sub(before)), nil
+}

@@ -1,0 +1,129 @@
+package kcore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KCoreNodes returns the nodes of the k-core: by Lemma 2.1 the k-core is
+// the subgraph induced by {v : core(v) >= k}, so given a decomposition the
+// k-cores for every k fall out by filtering.
+func KCoreNodes(core []uint32, k uint32) []uint32 {
+	var out []uint32
+	for v, c := range core {
+		if c >= k {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// Degeneracy reports the maximum core number in a decomposition (the
+// graph's degeneracy, kmax in the paper).
+func Degeneracy(core []uint32) uint32 {
+	var k uint32
+	for _, c := range core {
+		if c > k {
+			k = c
+		}
+	}
+	return k
+}
+
+// CoreHistogram returns counts[k] = number of nodes with core number k,
+// for k in [0, Degeneracy].
+func CoreHistogram(core []uint32) []int64 {
+	counts := make([]int64, Degeneracy(core)+1)
+	for _, c := range core {
+		counts[c]++
+	}
+	return counts
+}
+
+// CoreSizes returns sizes[k] = |k-core| (number of nodes with core >= k),
+// the cumulative view of CoreHistogram.
+func CoreSizes(core []uint32) []int64 {
+	h := CoreHistogram(core)
+	sizes := make([]int64, len(h))
+	var cum int64
+	for k := len(h) - 1; k >= 0; k-- {
+		cum += h[k]
+		sizes[k] = cum
+	}
+	return sizes
+}
+
+// DegeneracyOrder returns the nodes sorted by core number ascending (ties
+// by id). Processing nodes in this order guarantees each node has at most
+// Degeneracy(core) neighbours later in the order — the standard use of
+// core decomposition as a preprocessing step for clique finding and dense
+// subgraph discovery.
+func DegeneracyOrder(core []uint32) []uint32 {
+	order := make([]uint32, len(core))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if core[order[i]] != core[order[j]] {
+			return core[order[i]] < core[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// KCoreSubgraph extracts the edges of the k-core via one sequential scan
+// of the graph.
+func (g *Graph) KCoreSubgraph(core []uint32, k uint32) ([]Edge, error) {
+	if uint32(len(core)) != g.NumNodes() {
+		return nil, fmt.Errorf("kcore: core array covers %d nodes, graph has %d", len(core), g.NumNodes())
+	}
+	var edges []Edge
+	err := g.VisitEdges(func(u, v uint32) error {
+		if core[u] >= k && core[v] >= k {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// DensestCore returns the k whose k-core has the highest edge density
+// |E|/|V| among all non-empty k-cores, with the density; a standard
+// approximation routine for densest-subgraph discovery built on the
+// decomposition. It costs one sequential edge scan.
+func (g *Graph) DensestCore(core []uint32) (k uint32, density float64, err error) {
+	if uint32(len(core)) != g.NumNodes() {
+		return 0, 0, fmt.Errorf("kcore: core array covers %d nodes, graph has %d", len(core), g.NumNodes())
+	}
+	kmax := Degeneracy(core)
+	edgesAt := make([]int64, kmax+1) // edges whose min endpoint core = k
+	err = g.VisitEdges(func(u, v uint32) error {
+		c := core[u]
+		if core[v] < c {
+			c = core[v]
+		}
+		edgesAt[c]++
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	sizes := CoreSizes(core)
+	var cumEdges int64
+	best, bestDensity := uint32(0), -1.0
+	for kk := int64(kmax); kk >= 0; kk-- {
+		cumEdges += edgesAt[kk]
+		if sizes[kk] == 0 {
+			continue
+		}
+		d := float64(cumEdges) / float64(sizes[kk])
+		if d > bestDensity {
+			best, bestDensity = uint32(kk), d
+		}
+	}
+	return best, bestDensity, nil
+}

@@ -1,0 +1,44 @@
+package kcore
+
+import (
+	"fmt"
+
+	"kcore/internal/semicore"
+)
+
+// Save persists a SemiCore* decomposition (core numbers plus support
+// counters) to path, so a later process can resume maintenance with
+// LoadResult instead of re-decomposing. Results from other algorithms
+// lack the counters and cannot be saved.
+func (r *Result) Save(path string) error {
+	if r.cnt == nil {
+		return fmt.Errorf("kcore: only SemiCoreStar results carry the state needed to save")
+	}
+	st, err := semicore.StateFrom(r.Core, r.cnt)
+	if err != nil {
+		return err
+	}
+	return semicore.SaveState(path, st)
+}
+
+// LoadResult restores a saved decomposition for g. The snapshot must
+// describe exactly g's node count; the caller asserts the graph content
+// is the one the snapshot was computed on (or has only seen maintained
+// updates that were themselves saved).
+func LoadResult(path string, g *Graph) (*Result, error) {
+	st, err := semicore.LoadState(path)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(st.Core)) != g.NumNodes() {
+		return nil, fmt.Errorf("kcore: snapshot covers %d nodes, graph has %d", len(st.Core), g.NumNodes())
+	}
+	res := &Result{Core: st.Core, cnt: st.Cnt}
+	for _, c := range st.Core {
+		if c > res.Kmax {
+			res.Kmax = c
+		}
+	}
+	res.Info.Algorithm = "SemiCore* (snapshot)"
+	return res, nil
+}
