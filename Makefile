@@ -1,0 +1,31 @@
+# Build/test entry points. `make test` is the tier-1 gate; `make race`
+# must also stay green — every concurrent code path in the repository
+# (internal/serve, SemiCoreParallel) is written to be race-detector-clean,
+# with cross-goroutine state accessed only via sync/atomic or channels.
+GO ?= go
+
+.PHONY: all test race vet bench bench-serve clean
+
+all: test vet
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark, mainly as a does-it-run smoke check.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full serve benchmark grid; writes the BENCH_serve.json baseline that
+# later performance work is measured against.
+bench-serve:
+	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitServeBenchJSON -count=1 -v ./internal/serve
+
+clean:
+	$(GO) clean ./...

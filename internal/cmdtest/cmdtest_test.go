@@ -1,0 +1,286 @@
+// Package cmdtest smoke-tests the cmd/ binaries end-to-end: each test
+// builds the real binary with the Go toolchain, runs it on a small
+// generated fixture graph in a temp dir via os/exec, and checks the
+// observable behaviour (stdout, output files, HTTP responses).
+package cmdtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	binDir    string
+	graphBase string
+)
+
+// TestMain builds every exercised binary once and generates the shared
+// fixture graph (via the gengraph binary itself, so graph generation is
+// part of the end-to-end surface).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "kcore-cmdtest")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, name := range []string{"gengraph", "coredecomp", "coremaint", "kcorequery", "kcored"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, name), "kcore/cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "build %s: %v\n%s", name, err, out)
+			os.Exit(1)
+		}
+	}
+	graphBase = filepath.Join(dir, "fixture")
+	out, err := exec.Command(filepath.Join(binDir, "gengraph"),
+		"-family", "social", "-n", "150", "-k", "3", "-seed", "5", "-out", graphBase).CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph fixture: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// run executes a built binary and returns its combined output, failing
+// the test on a non-zero exit.
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestGengraphFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		family string
+		args   []string
+	}{
+		{"er", []string{"-n", "80", "-m", "300"}},
+		{"ba", []string{"-n", "80", "-k", "3"}},
+		{"social", []string{"-n", "80", "-k", "3"}},
+	} {
+		t.Run(tc.family, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "g")
+			args := append([]string{"-family", tc.family, "-seed", "2", "-out", out}, tc.args...)
+			got := run(t, "gengraph", args...)
+			if !strings.Contains(got, "wrote "+out) {
+				t.Fatalf("gengraph output %q lacks confirmation", got)
+			}
+			if _, err := os.Stat(out + ".meta"); err != nil {
+				t.Fatalf("graph not written: %v", err)
+			}
+		})
+	}
+}
+
+func TestCoredecompAlgorithmsAgree(t *testing.T) {
+	kmaxRe := regexp.MustCompile(`kmax \(degeneracy\): (\d+)`)
+	var want string
+	for _, algo := range []string{"star", "plus", "basic", "imcore", "emcore"} {
+		t.Run(algo, func(t *testing.T) {
+			coresOut := filepath.Join(t.TempDir(), "cores.txt")
+			out := run(t, "coredecomp", "-graph", graphBase, "-algo", algo, "-cores", coresOut)
+			m := kmaxRe.FindStringSubmatch(out)
+			if m == nil {
+				t.Fatalf("no kmax in output:\n%s", out)
+			}
+			if want == "" {
+				want = m[1]
+			} else if m[1] != want {
+				t.Fatalf("%s reports kmax %s, others %s", algo, m[1], want)
+			}
+			data, err := os.ReadFile(coresOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lines := bytes.Count(data, []byte("\n")); lines != 150 {
+				t.Fatalf("cores file has %d lines, want 150", lines)
+			}
+		})
+	}
+}
+
+func TestCoremaintRoundTrip(t *testing.T) {
+	out := run(t, "coremaint", "-graph", graphBase, "-edges", "8", "-insert", "star")
+	for _, want := range []string{"selected 8 random edges", "SemiDelete*", "SemiInsert*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("coremaint output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKcorequeryCore(t *testing.T) {
+	out := run(t, "kcorequery", "-graph", graphBase, "core", "0")
+	if !strings.Contains(out, "core(0)") {
+		t.Fatalf("kcorequery output %q lacks core(0)", out)
+	}
+}
+
+// startKcored launches the daemon on an ephemeral port and returns its
+// base URL. The process is killed at test cleanup.
+func startKcored(t *testing.T) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "kcored"),
+		"-graph", graphBase, "-addr", "127.0.0.1:0", "-flush", "1ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	listenRe := regexp.MustCompile(`listening on (http://[^ ]+)`)
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				addr <- m[1]
+				return
+			}
+		}
+		addr <- ""
+	}()
+	select {
+	case url := <-addr:
+		if url == "" {
+			t.Fatal("kcored exited without announcing its address")
+		}
+		return url
+	case <-time.After(30 * time.Second):
+		t.Fatal("kcored did not start within 30s")
+	}
+	return ""
+}
+
+// getJSON decodes a JSON response, asserting the HTTP status.
+func getJSON(t *testing.T, wantStatus int, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+func postJSON(t *testing.T, wantStatus int, url string, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", url, err)
+	}
+}
+
+func TestKcoredServesQueriesAndUpdates(t *testing.T) {
+	base := startKcored(t)
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, http.StatusOK, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q", health.Status)
+	}
+
+	var core struct {
+		Node  uint32 `json:"node"`
+		Core  uint32 `json:"core"`
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, http.StatusOK, base+"/core?v=0", &core)
+
+	var deg struct {
+		Degeneracy uint32 `json:"degeneracy"`
+		Nodes      uint32 `json:"nodes"`
+	}
+	getJSON(t, http.StatusOK, base+"/degeneracy", &deg)
+	if deg.Nodes != 150 {
+		t.Fatalf("degeneracy reports %d nodes, want 150", deg.Nodes)
+	}
+	if core.Core > deg.Degeneracy {
+		t.Fatalf("core(0) = %d exceeds degeneracy %d", core.Core, deg.Degeneracy)
+	}
+
+	var kc struct {
+		Count int      `json:"count"`
+		Nodes []uint32 `json:"nodes"`
+	}
+	getJSON(t, http.StatusOK, base+"/kcore?k=1&limit=5", &kc)
+	if kc.Count == 0 || len(kc.Nodes) > 5 {
+		t.Fatalf("kcore count=%d nodes=%d, want count>0 and <=5 nodes", kc.Count, len(kc.Nodes))
+	}
+
+	// Toggle an edge synchronously and watch the epoch advance.
+	var upd struct {
+		Enqueued int    `json:"enqueued"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	postJSON(t, http.StatusOK, base+"/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":1},{"op":"delete","u":0,"v":1},{"op":"insert","u":0,"v":1}]}`, &upd)
+	if upd.Enqueued != 3 {
+		t.Fatalf("enqueued = %d, want 3", upd.Enqueued)
+	}
+	if upd.Epoch == 0 {
+		t.Fatal("epoch did not advance past initial decomposition")
+	}
+
+	var st struct {
+		Serve struct {
+			Enqueued int64 `json:"enqueued"`
+			Applied  int64 `json:"applied"`
+		} `json:"serve"`
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, http.StatusOK, base+"/stats", &st)
+	if st.Serve.Enqueued != 3 {
+		t.Fatalf("stats enqueued = %d, want 3", st.Serve.Enqueued)
+	}
+	if st.Serve.Applied == 0 {
+		t.Fatal("stats applied = 0, want > 0")
+	}
+
+	// Error paths: missing parameter and malformed body.
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, http.StatusBadRequest, base+"/core", &errResp)
+	if errResp.Error == "" {
+		t.Fatal("missing-parameter error not reported")
+	}
+	getJSON(t, http.StatusNotFound, base+"/core?v=9999", &errResp)
+	postJSON(t, http.StatusBadRequest, base+"/update", `{"updates":[{"op":"upsert","u":0,"v":1}]}`, &errResp)
+	if !strings.Contains(errResp.Error, "upsert") {
+		t.Fatalf("bad-op error %q does not name the op", errResp.Error)
+	}
+}

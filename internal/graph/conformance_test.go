@@ -6,13 +6,24 @@ package graph_test
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"kcore"
 	"kcore/internal/dyngraph"
+	"kcore/internal/emcore"
 	"kcore/internal/gen"
 	"kcore/internal/graph"
 	"kcore/internal/graphio"
+	"kcore/internal/imcore"
+	"kcore/internal/maintain"
+	"kcore/internal/memgraph"
+	"kcore/internal/semicore"
+	"kcore/internal/serve"
 	"kcore/internal/stats"
 	"kcore/internal/storage"
 )
@@ -160,6 +171,221 @@ func TestSourcesHonourErrStop(t *testing.T) {
 		if err != nil || count != 1 {
 			t.Fatalf("%s: ScanDegrees stop: err=%v count=%d", name, err, count)
 		}
+	}
+}
+
+// edgeSet tracks the live edge set of a mutating workload, supporting
+// O(1) membership, random sampling and removal.
+type edgeSet struct {
+	list []memgraph.Edge
+	idx  map[uint64]int
+}
+
+func edgeKey(u, v uint32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+func newEdgeSet(edges []memgraph.Edge) *edgeSet {
+	s := &edgeSet{idx: make(map[uint64]int, len(edges))}
+	for _, e := range edges {
+		s.add(e)
+	}
+	return s
+}
+
+func (s *edgeSet) has(u, v uint32) bool { _, ok := s.idx[edgeKey(u, v)]; return ok }
+
+func (s *edgeSet) add(e memgraph.Edge) {
+	s.idx[edgeKey(e.U, e.V)] = len(s.list)
+	s.list = append(s.list, e)
+}
+
+func (s *edgeSet) remove(e memgraph.Edge) {
+	i := s.idx[edgeKey(e.U, e.V)]
+	last := len(s.list) - 1
+	s.list[i] = s.list[last]
+	s.idx[edgeKey(s.list[i].U, s.list[i].V)] = i
+	s.list = s.list[:last]
+	delete(s.idx, edgeKey(e.U, e.V))
+}
+
+// mutationStep produces the next batch of the seeded workload: even steps
+// delete random existing edges, odd steps insert random absent ones. The
+// edge set is updated to reflect the batch.
+func mutationStep(r *rand.Rand, step int, n uint32, set *edgeSet, size int) (batch []memgraph.Edge, isDelete bool) {
+	isDelete = step%2 == 0
+	if isDelete {
+		for i := 0; i < size && len(set.list) > 0; i++ {
+			e := set.list[r.Intn(len(set.list))]
+			set.remove(e)
+			batch = append(batch, e)
+		}
+		return batch, true
+	}
+	for len(batch) < size {
+		u, v := uint32(r.Intn(int(n))), uint32(r.Intn(int(n)))
+		if u == v || set.has(u, v) {
+			continue
+		}
+		e := memgraph.Edge{U: u, V: v}
+		set.add(e)
+		batch = append(batch, e)
+	}
+	return batch, false
+}
+
+// TestAlgorithmsAgreeUnderMutation interleaves maintained batch updates
+// (BatchInsert/BatchDelete, Algorithms 6-8) with full recomputation by
+// IMCore, SemiCore and EMCore, asserting all four produce identical core
+// arrays after every step — the maintained state must stay exact under
+// arbitrary interleavings, and the three decomposition families must stay
+// indistinguishable on the mutated graph.
+func TestAlgorithmsAgreeUnderMutation(t *testing.T) {
+	edges := gen.Social(200, 3, 8, 8, 601)
+	csr := gen.Build(edges)
+	n := csr.NumNodes()
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctr := stats.NewIOCounter(0)
+	dyn, err := dyngraph.Open(base, ctr, dyngraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dyn.Close() })
+	session, err := maintain.NewSession(dyn, stats.NewMemModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set := newEdgeSet(csr.EdgeList())
+	r := rand.New(rand.NewSource(77))
+	for step := 0; step < 8; step++ {
+		batch, isDelete := mutationStep(r, step, n, set, 12)
+		if isDelete {
+			_, err = session.BatchDelete(batch)
+		} else {
+			_, err = session.BatchInsert(batch)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := session.VerifyState(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		maintained := fmt.Sprint(session.Core())
+
+		cur, err := memgraph.FromEdges(n, set.list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(imcore.Decompose(cur, nil).Core); got != maintained {
+			t.Fatalf("step %d: IMCore diverges from maintained state", step)
+		}
+		semi, err := semicore.SemiCore(dyn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(semi.Core); got != maintained {
+			t.Fatalf("step %d: SemiCore diverges from maintained state", step)
+		}
+		// EMCore reads the raw tables, so flush the overlay first.
+		if err := dyn.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		disk, err := storage.Open(base, ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := emcore.Decompose(disk, emcore.Options{TempDir: t.TempDir()})
+		disk.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(em.Core); got != maintained {
+			t.Fatalf("step %d: EMCore diverges from maintained state", step)
+		}
+	}
+}
+
+// TestConcurrentSessionAgreesWithRecompute drives the same seeded
+// workload through serve.ConcurrentSession while concurrent readers
+// hammer Snapshot, asserting after every synced step that the published
+// epoch equals a from-scratch IMCore recomputation of the mutated edge
+// set. Run under -race this also checks the epoch-swap publication
+// discipline.
+func TestConcurrentSessionAgreesWithRecompute(t *testing.T) {
+	edges := gen.Social(200, 3, 8, 8, 601)
+	csr := gen.Build(edges)
+	n := csr.NumNodes()
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	sess, err := serve.New(g, &serve.Options{MaxBatch: 32, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Stop the readers even when an assertion below fails the test, so
+	// they cannot outlive the session and bury the real failure.
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := uint32(0); !stop.Load(); v++ {
+				snap := sess.Snapshot()
+				if _, err := snap.CoreOf(v % snap.NumNodes()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	set := newEdgeSet(csr.EdgeList())
+	r := rand.New(rand.NewSource(77))
+	for step := 0; step < 8; step++ {
+		batch, isDelete := mutationStep(r, step, n, set, 12)
+		op := serve.OpInsert
+		if isDelete {
+			op = serve.OpDelete
+		}
+		ups := make([]serve.Update, len(batch))
+		for i, e := range batch {
+			ups[i] = serve.Update{Op: op, U: e.U, V: e.V}
+		}
+		if err := sess.Apply(ups...); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cur, err := memgraph.FromEdges(n, set.list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprint(imcore.Decompose(cur, nil).Core)
+		if got := fmt.Sprint(sess.Snapshot().Core); got != want {
+			t.Fatalf("step %d: published epoch diverges from recomputation", step)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

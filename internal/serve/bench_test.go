@@ -1,0 +1,233 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/serve"
+)
+
+// benchGraphNodes sizes the benchmark fixture: large enough that a
+// snapshot copy is not free, small enough to decompose instantly.
+const benchGraphNodes = 2000
+
+// startToggler runs a background load generator that continuously
+// deletes and re-inserts existing edges through the ingest queue,
+// keeping the writer goroutine busy publishing epochs. Returns a stop
+// function that waits for the toggler to exit.
+func startToggler(b *testing.B, sess *serve.ConcurrentSession, edges []kcore.Edge) func() {
+	b.Helper()
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := rand.New(rand.NewSource(99))
+		batch := make([]serve.Update, 0, 64)
+		for !stop.Load() {
+			e := edges[r.Intn(len(edges))]
+			for _, op := range []serve.Op{serve.OpDelete, serve.OpInsert} {
+				batch = batch[:0]
+				batch = append(batch, serve.Update{Op: op, U: e.U, V: e.V})
+				if err := sess.Enqueue(batch...); err != nil {
+					return // session closed under us: benchmark is done
+				}
+			}
+		}
+	}()
+	return func() {
+		stop.Store(true)
+		<-done
+	}
+}
+
+// benchReads measures snapshot-read throughput with the given reader
+// count while the writer is either idle or under continuous update load.
+func benchReads(b *testing.B, readers int, busyWriter bool) {
+	g, edges := openGraph(b, benchGraphNodes, 21)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if busyWriter {
+		defer startToggler(b, sess, edges)()
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / readers
+	for r := 0; r < readers; r++ {
+		n := per
+		if r == 0 {
+			n += b.N % readers
+		}
+		wg.Add(1)
+		go func(seed uint32, n int) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < n; i++ {
+				snap := sess.Snapshot()
+				c, err := snap.CoreOf(v % snap.NumNodes())
+				if err != nil || c > snap.Kmax {
+					b.Errorf("CoreOf = %d, %v", c, err)
+					return
+				}
+				v += 7
+			}
+		}(uint32(r), n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkServeReadThroughput measures how reader throughput scales
+// with reader count and with writer load: the epoch-snapshot design
+// should keep reads wait-free in both columns.
+func BenchmarkServeReadThroughput(b *testing.B) {
+	for _, readers := range []int{1, 4, 16} {
+		for _, busy := range []bool{false, true} {
+			writer := "idle"
+			if busy {
+				writer = "busy"
+			}
+			b.Run(fmt.Sprintf("readers=%d/writer=%s", readers, writer), func(b *testing.B) {
+				benchReads(b, readers, busy)
+			})
+		}
+	}
+}
+
+// benchMixed measures a mixed workload: each worker interleaves 15
+// snapshot reads with one asynchronous edge toggle (delete+insert pair
+// on a worker-owned edge, so updates never conflict).
+func benchMixed(b *testing.B, workers int) {
+	g, edges := openGraph(b, benchGraphNodes, 23)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % workers
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			// Worker-owned slice of the edge list: no cross-worker dup rejects.
+			own := edges[w*len(edges)/workers : (w+1)*len(edges)/workers]
+			v := uint32(w)
+			for i := 0; i < n; i++ {
+				if i%16 == 15 && len(own) > 0 {
+					e := own[i%len(own)]
+					if err := sess.Enqueue(
+						serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
+						serve.Update{Op: serve.OpInsert, U: e.U, V: e.V},
+					); err != nil {
+						b.Errorf("enqueue: %v", err)
+						return
+					}
+					continue
+				}
+				snap := sess.Snapshot()
+				if _, err := snap.CoreOf(v % snap.NumNodes()); err != nil {
+					b.Error(err)
+					return
+				}
+				v += 13
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	if err := sess.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkServeMixedWorkload measures combined read/update throughput
+// (15:1 read:update ratio) as worker count grows.
+func BenchmarkServeMixedWorkload(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchMixed(b, workers)
+		})
+	}
+}
+
+// TestEmitServeBenchJSON runs the serve benchmark grid via
+// testing.Benchmark and writes the results to the file named by
+// KCORE_BENCH_JSON (the `make bench-serve` artifact BENCH_serve.json),
+// seeding the performance trajectory later PRs measure against.
+func TestEmitServeBenchJSON(t *testing.T) {
+	path := os.Getenv("KCORE_BENCH_JSON")
+	if path == "" {
+		t.Skip("set KCORE_BENCH_JSON=<path> to emit the serve benchmark artifact")
+	}
+	type entry struct {
+		Name      string  `json:"name"`
+		Readers   int     `json:"readers"`
+		Writer    string  `json:"writer"`
+		N         int     `json:"n"`
+		NsPerOp   float64 `json:"ns_per_op"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+	}
+	var entries []entry
+	record := func(name string, readers int, writer string, run func(b *testing.B)) {
+		res := testing.Benchmark(run)
+		e := entry{Name: name, Readers: readers, Writer: writer, N: res.N,
+			NsPerOp: float64(res.NsPerOp())}
+		if res.T > 0 {
+			e.OpsPerSec = float64(res.N) / res.T.Seconds()
+		}
+		entries = append(entries, e)
+		t.Logf("%s: %.0f ops/s (%.0f ns/op, n=%d)", name, e.OpsPerSec, e.NsPerOp, e.N)
+	}
+	for _, readers := range []int{1, 4, 16} {
+		for _, busy := range []bool{false, true} {
+			readers, busy := readers, busy
+			writer := "idle"
+			if busy {
+				writer = "busy"
+			}
+			record(fmt.Sprintf("ServeReadThroughput/readers=%d/writer=%s", readers, writer),
+				readers, writer, func(b *testing.B) { benchReads(b, readers, busy) })
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		record(fmt.Sprintf("ServeMixedWorkload/workers=%d", workers),
+			workers, "mixed", func(b *testing.B) { benchMixed(b, workers) })
+	}
+	doc := map[string]any{
+		"benchmark":    "serve",
+		"go":           runtime.Version(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"graph_nodes":  benchGraphNodes,
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"results":      entries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,264 @@
+// Package serve turns the paper's single-caller maintenance session into
+// a concurrent serving subsystem. A ConcurrentSession publishes immutable
+// core/graph snapshots through an atomically-swapped epoch pointer:
+// readers load the current *Epoch with one atomic pointer read and query
+// it lock-free, never blocking and never observing a torn state. A single
+// writer goroutine owns the underlying kcore.Maintainer; it drains an
+// ingest queue, coalesces edge insert/delete events into same-kind runs
+// (flushed on a size or time threshold), applies each run through the
+// maintainer's batch operations, then swaps in a fresh epoch.
+//
+// Consistency model: updates are applied in enqueue order, and every
+// published epoch reflects a consistent prefix of the applied updates —
+// an epoch is only ever the exact state after some whole number of
+// coalesced batches. Readers may observe a slightly stale epoch (bounded
+// by the flush interval plus apply time) but never a partial batch.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+	"kcore/internal/stats"
+)
+
+// Op selects the kind of an edge update.
+type Op uint8
+
+const (
+	// OpInsert adds an edge.
+	OpInsert Op = iota
+	// OpDelete removes an edge.
+	OpDelete
+)
+
+// String names the operation.
+func (o Op) String() string {
+	if o == OpDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Update is one edge mutation submitted to the ingest queue.
+type Update struct {
+	Op   Op
+	U, V uint32
+}
+
+// Epoch is one published state of the decomposition. The embedded
+// CoreSnapshot is immutable; an Epoch, once obtained from Snapshot, stays
+// valid and unchanging forever (later epochs are new allocations).
+type Epoch struct {
+	*kcore.CoreSnapshot
+	// Seq is the publication sequence number, starting at 0 for the
+	// initial decomposition and incremented per published epoch.
+	Seq uint64
+	// Applied is the cumulative count of edge updates applied up to and
+	// including this epoch.
+	Applied uint64
+}
+
+// Options tunes a ConcurrentSession. The zero value selects defaults.
+type Options struct {
+	// MaxBatch flushes the pending updates once this many have been
+	// coalesced; 0 selects 256.
+	MaxBatch int
+	// FlushInterval flushes pending updates this long after the first
+	// un-flushed update arrived, bounding epoch staleness under light
+	// write load; 0 selects 2ms.
+	FlushInterval time.Duration
+	// QueueCapacity bounds the ingest queue; enqueueing blocks when it is
+	// full (backpressure). 0 selects 4096.
+	QueueCapacity int
+	// Counters receives serving metrics; nil allocates a private set.
+	Counters *stats.ServeCounters
+	// OnPublish, when non-nil, observes every published epoch from the
+	// writer goroutine (after the swap). Intended for tests.
+	OnPublish func(*Epoch)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 4096
+	}
+	if o.Counters == nil {
+		o.Counters = new(stats.ServeCounters)
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed session.
+var ErrClosed = errors.New("serve: session closed")
+
+// envelope is a queue entry: either one update or a barrier marker.
+type envelope struct {
+	up   Update
+	sync chan error // non-nil marks a barrier
+}
+
+// ConcurrentSession serves core-decomposition queries to many goroutines
+// while edge updates stream in. Readers call Snapshot (lock-free); writers
+// call Enqueue/Insert/Delete (queued, coalesced, applied asynchronously by
+// the single writer goroutine). See the package comment for the
+// consistency model.
+type ConcurrentSession struct {
+	g    *kcore.Graph
+	m    *kcore.Maintainer
+	opts Options
+	ctr  *stats.ServeCounters
+
+	cur   atomic.Pointer[Epoch]
+	queue chan envelope
+
+	mu     sync.RWMutex // guards closed against concurrent sends
+	closed bool
+	wg     sync.WaitGroup
+
+	failure atomic.Pointer[sessionFailure]
+}
+
+type sessionFailure struct{ err error }
+
+// New decomposes g with SemiCore*, publishes the result as epoch 0 and
+// starts the writer goroutine. The caller keeps ownership of g but must
+// not use it (or any Maintainer on it) directly while the session is
+// open: the writer goroutine is the sole mutator.
+func New(g *kcore.Graph, opts *Options) (*ConcurrentSession, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	m, err := kcore.NewMaintainer(g, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial decomposition: %w", err)
+	}
+	s := &ConcurrentSession{
+		g:     g,
+		m:     m,
+		opts:  o,
+		ctr:   o.Counters,
+		queue: make(chan envelope, o.QueueCapacity),
+	}
+	s.publish(m.Snapshot(), 0)
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Snapshot returns the current epoch: one atomic load, never blocks. The
+// returned epoch is immutable and remains valid after the session closes.
+func (s *ConcurrentSession) Snapshot() *Epoch { return s.cur.Load() }
+
+// Insert enqueues an edge insertion.
+func (s *ConcurrentSession) Insert(u, v uint32) error {
+	return s.Enqueue(Update{Op: OpInsert, U: u, V: v})
+}
+
+// Delete enqueues an edge deletion.
+func (s *ConcurrentSession) Delete(u, v uint32) error {
+	return s.Enqueue(Update{Op: OpDelete, U: u, V: v})
+}
+
+// Enqueue submits updates to the ingest queue in order. It blocks while
+// the queue is full (backpressure) and returns ErrClosed after Close or
+// the writer's fatal error if maintenance failed.
+func (s *ConcurrentSession) Enqueue(ups ...Update) error {
+	if f := s.failure.Load(); f != nil {
+		return f.err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, u := range ups {
+		s.queue <- envelope{up: u}
+	}
+	s.ctr.NoteEnqueued(len(ups))
+	s.ctr.SetQueueDepth(len(s.queue))
+	return nil
+}
+
+// Sync blocks until every update enqueued before the call has been
+// applied and published, then reports the writer's error state. It is the
+// read-your-writes barrier: a Snapshot taken after Sync returns reflects
+// all of the caller's prior updates.
+func (s *ConcurrentSession) Sync() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	ack := make(chan error, 1)
+	s.queue <- envelope{sync: ack}
+	s.mu.RUnlock()
+	return <-ack
+}
+
+// Apply enqueues updates and waits for them to be applied and published.
+func (s *ConcurrentSession) Apply(ups ...Update) error {
+	if err := s.Enqueue(ups...); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// Stats snapshots the serving counters (including the live queue depth
+// and the age of the current epoch).
+func (s *ConcurrentSession) Stats() stats.ServeSnapshot {
+	s.ctr.SetQueueDepth(len(s.queue))
+	return s.ctr.Snapshot(time.Now())
+}
+
+// IOStats reports the block I/O performed through the underlying graph.
+func (s *ConcurrentSession) IOStats() kcore.IOStats { return s.g.IOStats() }
+
+// Close stops the writer after draining already-enqueued updates and
+// publishing the final epoch. The last Snapshot stays readable. Close
+// does not close the underlying Graph — the caller owns it.
+func (s *ConcurrentSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	if f := s.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// publish swaps in a fresh epoch built from snap.
+func (s *ConcurrentSession) publish(snap *kcore.CoreSnapshot, appliedNow int) {
+	var seq, applied uint64
+	if prev := s.cur.Load(); prev != nil {
+		seq = prev.Seq + 1
+		applied = prev.Applied
+	}
+	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied + uint64(appliedNow)}
+	s.cur.Store(e)
+	s.ctr.NotePublish(e.Seq, snap.TakenAt)
+	if s.opts.OnPublish != nil {
+		s.opts.OnPublish(e)
+	}
+}
+
+func (s *ConcurrentSession) fail(err error) {
+	s.failure.CompareAndSwap(nil, &sessionFailure{err: err})
+}

@@ -1,0 +1,350 @@
+package serve_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/gen"
+	"kcore/internal/graphio"
+	"kcore/internal/serve"
+)
+
+// openGraph materialises a deterministic social graph on disk and opens
+// it, returning the handle and its edge list.
+func openGraph(t testing.TB, n uint32, seed int64) (*kcore.Graph, []kcore.Edge) {
+	t.Helper()
+	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, csr.EdgeList()
+}
+
+func coreChecksum(core []uint32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, c := range core {
+		b[0], b[1], b[2], b[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// TestConcurrentReadersSeeConsistentEpochs is the acceptance race test:
+// 8 concurrent readers query the session while the writer applies >= 1000
+// coalesced edge updates; every core array a reader observes must exactly
+// match the array of some published applied-batch epoch (no torn reads),
+// and the final state must equal a from-scratch decomposition.
+func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
+	g, edges := openGraph(t, 300, 42)
+
+	// history records the checksum of every published epoch, keyed by
+	// sequence number, from the writer goroutine at publish time.
+	var history sync.Map
+	sess, err := serve.New(g, &serve.Options{
+		MaxBatch:      64,
+		FlushInterval: 500 * time.Microsecond,
+		OnPublish: func(e *serve.Epoch) {
+			history.Store(e.Seq, coreChecksum(e.Core))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var stop atomic.Bool
+	type observation struct {
+		seq uint64
+		sum uint64
+	}
+	var wg sync.WaitGroup
+	// Stop the readers even when an assertion below fails the test, so
+	// they cannot busy-spin past the test's end.
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+	obsCh := make(chan []observation, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var obs []observation
+			var lastSeq uint64
+			for i := 0; !stop.Load() || i < 100; i++ {
+				snap := sess.Snapshot()
+				if snap.Seq < lastSeq {
+					t.Errorf("reader %d: epoch went backwards %d -> %d", r, lastSeq, snap.Seq)
+					break
+				}
+				lastSeq = snap.Seq
+				if v, err := snap.CoreOf(uint32(i) % snap.NumNodes()); err != nil || v > snap.Kmax {
+					t.Errorf("reader %d: CoreOf = %d, %v (kmax %d)", r, v, err, snap.Kmax)
+					break
+				}
+				obs = append(obs, observation{snap.Seq, coreChecksum(snap.Core)})
+				if stop.Load() && i >= 100 {
+					break
+				}
+			}
+			obsCh <- obs
+		}(r)
+	}
+
+	// Writer: 6 rounds of (delete 100 edges, re-insert them) = 1200
+	// updates; the graph ends exactly where it started.
+	r := rand.New(rand.NewSource(7))
+	perm := r.Perm(len(edges))
+	batch := make([]serve.Update, 0, 100)
+	for round := 0; round < 6; round++ {
+		for _, op := range []serve.Op{serve.OpDelete, serve.OpInsert} {
+			batch = batch[:0]
+			for i := 0; i < 100; i++ {
+				e := edges[perm[i%len(perm)]]
+				batch = append(batch, serve.Update{Op: op, U: e.U, V: e.V})
+			}
+			if err := sess.Enqueue(batch...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sess.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	final := sess.Snapshot()
+	if final.Applied < 1000 {
+		t.Fatalf("applied %d updates, want >= 1000", final.Applied)
+	}
+	st := sess.Stats()
+	if st.Batches >= st.Applied {
+		t.Fatalf("no coalescing: %d batches for %d applied updates", st.Batches, st.Applied)
+	}
+	if st.Epochs < 2 {
+		t.Fatalf("published %d epochs, want >= 2", st.Epochs)
+	}
+
+	// Every observation must match the writer's record of that epoch.
+	total := 0
+	for i := 0; i < readers; i++ {
+		for _, o := range <-obsCh {
+			total++
+			want, ok := history.Load(o.seq)
+			if !ok {
+				t.Fatalf("reader observed unpublished epoch %d", o.seq)
+			}
+			if want.(uint64) != o.sum {
+				t.Fatalf("torn read: epoch %d checksum %x, published %x", o.seq, o.sum, want)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("readers made no observations")
+	}
+
+	// The final epoch must agree with a from-scratch decomposition.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := kcore.Decompose(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coreChecksum(res.Core) != coreChecksum(final.Core) {
+		t.Fatal("final epoch diverges from fresh decomposition")
+	}
+}
+
+// absentEdge finds an edge not currently in g.
+func absentEdge(g *kcore.Graph) (uint32, uint32, error) {
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			present, err := g.HasEdge(u, v)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !present {
+				return u, v, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("graph is complete; cannot insert")
+}
+
+func TestSyncIsReadYourWrites(t *testing.T) {
+	g, _ := openGraph(t, 120, 3)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	before := sess.Snapshot()
+	u, v, err := absentEdge(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Apply(serve.Update{Op: serve.OpInsert, U: u, V: v}); err != nil {
+		t.Fatal(err)
+	}
+	after := sess.Snapshot()
+	if after.Seq <= before.Seq {
+		t.Fatalf("epoch did not advance: %d -> %d", before.Seq, after.Seq)
+	}
+	if after.NumEdges != before.NumEdges+1 {
+		t.Fatalf("NumEdges = %d, want %d", after.NumEdges, before.NumEdges+1)
+	}
+	if after.Applied != before.Applied+1 {
+		t.Fatalf("Applied = %d, want %d", after.Applied, before.Applied+1)
+	}
+	// The pre-update epoch is immutable: still the old edge count.
+	if before.NumEdges != sess.Snapshot().NumEdges-1 {
+		t.Fatal("held epoch mutated")
+	}
+}
+
+func TestInvalidUpdatesAreRejectedNotFatal(t *testing.T) {
+	g, edges := openGraph(t, 100, 5)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := edges[0]
+	bad := []serve.Update{
+		{Op: serve.OpInsert, U: e.U, V: e.V},        // duplicate insert
+		{Op: serve.OpDelete, U: e.U, V: e.V},        // valid delete
+		{Op: serve.OpDelete, U: e.U, V: e.V},        // delete of now-absent edge
+		{Op: serve.OpInsert, U: 5, V: 5},            // self-loop
+		{Op: serve.OpInsert, U: 0, V: g.NumNodes()}, // out of range
+		{Op: serve.OpInsert, U: e.U, V: e.V},        // valid re-insert
+	}
+	if err := sess.Apply(bad...); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Rejected != 4 {
+		t.Fatalf("rejected = %d, want 4", st.Rejected)
+	}
+	if st.Applied != 2 {
+		t.Fatalf("applied = %d, want 2", st.Applied)
+	}
+	// Session still serves and accepts work.
+	if err := sess.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraBatchDuplicatesRejectDeterministically(t *testing.T) {
+	g, edges := openGraph(t, 100, 9)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := edges[0]
+	// Both orientations of the same edge in one run: the second rejects.
+	if err := sess.Apply(
+		serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
+		serve.Update{Op: serve.OpDelete, U: e.V, V: e.U},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Applied != 1 || st.Rejected != 1 {
+		t.Fatalf("applied/rejected = %d/%d, want 1/1", st.Applied, st.Rejected)
+	}
+}
+
+func TestCoalescingBoundsEpochCount(t *testing.T) {
+	g, _ := openGraph(t, 200, 11)
+	sess, err := serve.New(g, &serve.Options{
+		MaxBatch:      128,
+		FlushInterval: time.Second, // only size-based flushes matter here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// 500 deletes of existing edges, enqueued as one burst.
+	var ups []serve.Update
+	err = g.VisitEdges(func(u, v uint32) error {
+		if len(ups) < 500 {
+			ups = append(ups, serve.Update{Op: serve.OpDelete, U: u, V: v})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) < 500 {
+		t.Fatalf("graph too small: %d edges", len(ups))
+	}
+	if err := sess.Apply(ups...); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Applied != 500 {
+		t.Fatalf("applied = %d, want 500", st.Applied)
+	}
+	if st.Epochs > 10 {
+		t.Fatalf("%d epochs for one 500-update burst; coalescing is broken", st.Epochs)
+	}
+	if st.MeanBatchEdges() < 32 {
+		t.Fatalf("mean batch = %.1f edges, want >= 32", st.MeanBatchEdges())
+	}
+}
+
+func TestCloseDrainsAndSealsSession(t *testing.T) {
+	g, edges := openGraph(t, 100, 13)
+	sess, err := serve.New(g, &serve.Options{FlushInterval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := edges[0]
+	if err := sess.Delete(e.U, e.V); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := sess.Snapshot()
+	if final.Applied != 1 {
+		t.Fatalf("close did not drain: applied = %d, want 1", final.Applied)
+	}
+	if err := sess.Insert(e.U, e.V); err != serve.ErrClosed {
+		t.Fatalf("Enqueue after close = %v, want ErrClosed", err)
+	}
+	if err := sess.Close(); err != serve.ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	// Snapshots stay readable after close.
+	if got := sess.Snapshot(); got.Seq != final.Seq {
+		t.Fatalf("post-close snapshot seq %d, want %d", got.Seq, final.Seq)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if fmt.Sprint(serve.OpInsert, serve.OpDelete) != "insert delete" {
+		t.Fatalf("Op strings = %q", fmt.Sprint(serve.OpInsert, serve.OpDelete))
+	}
+}

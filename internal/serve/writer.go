@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"kcore"
+)
+
+// run is the writer goroutine: the sole mutator of the graph and the
+// maintainer. It drains the ingest queue, coalescing updates until either
+// MaxBatch are pending or FlushInterval has elapsed since the first
+// pending update, then applies and publishes them as one epoch.
+func (s *ConcurrentSession) run() {
+	defer s.wg.Done()
+	pending := make([]Update, 0, s.opts.MaxBatch)
+	// Go 1.23+ timer semantics: Stop/Reset discard any pending fire, so
+	// the channel must never be drained manually (a receive after Stop
+	// returns false would block forever).
+	timer := time.NewTimer(s.opts.FlushInterval)
+	timer.Stop()
+	defer timer.Stop()
+
+	flush := func() {
+		s.flush(pending)
+		pending = pending[:0]
+	}
+	for {
+		var env envelope
+		var ok bool
+		if len(pending) == 0 {
+			// Idle: block until work arrives or the queue closes.
+			env, ok = <-s.queue
+			if !ok {
+				flush()
+				return
+			}
+			timer.Reset(s.opts.FlushInterval)
+		} else {
+			select {
+			case env, ok = <-s.queue:
+				if !ok {
+					flush()
+					return
+				}
+			case <-timer.C:
+				flush()
+				continue
+			}
+		}
+		s.ctr.SetQueueDepth(len(s.queue))
+		if env.sync != nil {
+			// Barrier: apply everything before it, then ack.
+			flush()
+			if f := s.failure.Load(); f != nil {
+				env.sync <- f.err
+			} else {
+				env.sync <- nil
+			}
+			continue
+		}
+		pending = append(pending, env.up)
+		if len(pending) >= s.opts.MaxBatch {
+			flush()
+		}
+	}
+}
+
+// flush applies the pending updates as coalesced same-kind runs — each
+// run goes through one BatchInsert/BatchDelete — and publishes one new
+// epoch covering every applied run. Updates that are invalid at apply
+// time (out-of-range ids, self-loops, duplicate inserts, deletes of
+// absent edges) are rejected and counted, never failing the batch; a
+// maintenance error on a validated batch is fatal for the session.
+//
+// A maintenance error can leave a partially applied run in the internal
+// state; in that case the flush publishes nothing — the session is
+// fatally failed and the last published epoch (a whole-batch boundary
+// from an earlier flush) stays frozen, so the torn state is never
+// visible to readers.
+func (s *ConcurrentSession) flush(pending []Update) {
+	if len(pending) == 0 {
+		return
+	}
+	if s.failure.Load() != nil {
+		s.ctr.NoteRejected(len(pending))
+		return
+	}
+	applied := 0
+	for lo := 0; lo < len(pending); {
+		hi := lo + 1
+		for hi < len(pending) && pending[hi].Op == pending[lo].Op {
+			hi++
+		}
+		n, rejected, err := s.applyRun(pending[lo].Op, pending[lo:hi])
+		if err != nil {
+			s.fail(err)
+			// The whole failed run is lost from the published state, as
+			// is everything queued after it; account for both so that
+			// enqueued = applied + rejected stays an invariant.
+			s.ctr.NoteRejected(hi - lo + len(pending) - hi)
+			return
+		}
+		s.ctr.NoteRejected(rejected)
+		applied += n
+		lo = hi
+	}
+	if applied > 0 {
+		s.publish(s.m.Snapshot(), applied)
+	}
+}
+
+// applyRun validates one same-kind run against the live graph, drops the
+// invalid updates, and applies the survivors as one batch, reporting how
+// many were applied and how many dropped. Validation happens against the
+// graph state left by the previous run, plus a run-local set so
+// duplicated edges within the run reject deterministically (an insert
+// makes a second insert of the same edge invalid; a delete makes a
+// second delete invalid). On error nothing is counted: the caller
+// accounts for the whole run.
+func (s *ConcurrentSession) applyRun(op Op, run []Update) (applied, rejected int, err error) {
+	n := s.g.NumNodes()
+	valid := make([]kcore.Edge, 0, len(run))
+	inRun := make(map[uint64]struct{}, len(run))
+	for _, up := range run {
+		u, v := up.U, up.V
+		if u > v {
+			u, v = v, u
+		}
+		if v >= n || u == v {
+			rejected++
+			continue
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := inRun[key]; dup {
+			rejected++
+			continue
+		}
+		present, err := s.g.HasEdge(u, v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("serve: validate %s (%d,%d): %w", op, u, v, err)
+		}
+		if (op == OpInsert) == present {
+			rejected++
+			continue
+		}
+		inRun[key] = struct{}{}
+		valid = append(valid, kcore.Edge{U: u, V: v})
+	}
+	if len(valid) == 0 {
+		return 0, rejected, nil
+	}
+	if op == OpInsert {
+		_, err = s.m.InsertEdges(valid)
+	} else {
+		_, err = s.m.DeleteEdges(valid)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: apply %s batch of %d: %w", op, len(valid), err)
+	}
+	s.ctr.NoteBatch(len(valid))
+	return len(valid), rejected, nil
+}

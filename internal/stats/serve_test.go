@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeCountersAccumulate(t *testing.T) {
+	var c ServeCounters
+	c.NoteEnqueued(10)
+	c.NoteRejected(2)
+	c.NoteBatch(3)
+	c.NoteBatch(5)
+	c.SetQueueDepth(4)
+	pub := time.Unix(100, 0)
+	c.NotePublish(7, pub)
+
+	s := c.Snapshot(pub.Add(2 * time.Second))
+	if s.Enqueued != 10 || s.Rejected != 2 {
+		t.Fatalf("enqueued/rejected = %d/%d, want 10/2", s.Enqueued, s.Rejected)
+	}
+	if s.Applied != 8 || s.Batches != 2 {
+		t.Fatalf("applied/batches = %d/%d, want 8/2", s.Applied, s.Batches)
+	}
+	if s.BatchEdgesMax != 5 || s.BatchEdgesSum != 8 {
+		t.Fatalf("batch max/sum = %d/%d, want 5/8", s.BatchEdgesMax, s.BatchEdgesSum)
+	}
+	if got := s.MeanBatchEdges(); got != 4 {
+		t.Fatalf("MeanBatchEdges = %v, want 4", got)
+	}
+	if s.QueueDepth != 4 {
+		t.Fatalf("queue depth = %d, want 4", s.QueueDepth)
+	}
+	if s.Epoch != 7 || c.Epoch() != 7 || s.Epochs != 1 {
+		t.Fatalf("epoch = %d/%d (count %d), want 7", s.Epoch, c.Epoch(), s.Epochs)
+	}
+	if s.EpochAge != 2*time.Second {
+		t.Fatalf("epoch age = %v, want 2s", s.EpochAge)
+	}
+}
+
+func TestServeCountersZeroValue(t *testing.T) {
+	var c ServeCounters
+	s := c.Snapshot(time.Now())
+	if s.EpochAge != 0 {
+		t.Fatalf("epoch age on fresh counters = %v, want 0", s.EpochAge)
+	}
+	if s.MeanBatchEdges() != 0 {
+		t.Fatalf("mean batch on fresh counters = %v, want 0", s.MeanBatchEdges())
+	}
+}
+
+func TestServeCountersConcurrent(t *testing.T) {
+	var c ServeCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.NoteEnqueued(1)
+				c.NoteBatch(w + 1)
+				c.Snapshot(time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot(time.Now())
+	if s.Enqueued != 8000 || s.Batches != 8000 {
+		t.Fatalf("enqueued/batches = %d/%d, want 8000/8000", s.Enqueued, s.Batches)
+	}
+	if s.BatchEdgesMax != 8 {
+		t.Fatalf("batch max = %d, want 8", s.BatchEdgesMax)
+	}
+}

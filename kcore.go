@@ -26,6 +26,20 @@
 //	op, err = m.DeleteEdge(7, 8)  // SemiDelete*
 //	cores := m.Cores()
 //
+// A Graph and a Maintainer are single-caller: one goroutine at a time.
+// For concurrent serving — many readers querying while edge updates
+// stream in — use internal/serve's ConcurrentSession (exposed over HTTP
+// by cmd/kcored). It publishes immutable CoreSnapshot epochs through an
+// atomically-swapped pointer, so readers are lock-free and wait-free,
+// while a single writer goroutine coalesces queued updates into batches
+// and applies them with the maintenance algorithms; every published
+// epoch reflects a consistent prefix of the applied updates. Snapshots
+// are cheap (one O(n) copy per publication) and immutable forever:
+//
+//	snap := m.Snapshot()   // *CoreSnapshot: safe to share across goroutines
+//	k, _ := snap.CoreOf(7)
+//	members := snap.KCore(k)
+//
 // All disk access is counted in block-granularity I/Os (the external-
 // memory model): see Graph.IOStats.
 package kcore

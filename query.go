@@ -72,6 +72,29 @@ func DegeneracyOrder(core []uint32) []uint32 {
 	return order
 }
 
+// NumNodes reports the number of nodes the snapshot covers.
+func (s *CoreSnapshot) NumNodes() uint32 { return uint32(len(s.Core)) }
+
+// CoreOf reports the core number of v at snapshot time.
+func (s *CoreSnapshot) CoreOf(v uint32) (uint32, error) {
+	if v >= uint32(len(s.Core)) {
+		return 0, fmt.Errorf("kcore: node %d out of range [0,%d)", v, len(s.Core))
+	}
+	return s.Core[v], nil
+}
+
+// KCore returns the nodes of the k-core at snapshot time.
+func (s *CoreSnapshot) KCore(k uint32) []uint32 { return KCoreNodes(s.Core, k) }
+
+// Degeneracy reports kmax at snapshot time.
+func (s *CoreSnapshot) Degeneracy() uint32 { return s.Kmax }
+
+// Histogram returns counts[k] = number of nodes with core number k.
+func (s *CoreSnapshot) Histogram() []int64 { return CoreHistogram(s.Core) }
+
+// Sizes returns sizes[k] = |k-core| at snapshot time.
+func (s *CoreSnapshot) Sizes() []int64 { return CoreSizes(s.Core) }
+
 // KCoreSubgraph extracts the edges of the k-core via one sequential scan
 // of the graph.
 func (g *Graph) KCoreSubgraph(core []uint32, k uint32) ([]Edge, error) {

@@ -2,9 +2,51 @@ package kcore
 
 import (
 	"fmt"
+	"time"
 
 	"kcore/internal/semicore"
 )
+
+// CoreSnapshot is an immutable, self-contained copy of a core
+// decomposition at one instant: the core array plus derived summary
+// fields. Taking one costs a single O(n) copy ("copy-on-publish"), after
+// which the snapshot is safe to share across goroutines without any
+// locking — the serving layer (internal/serve) publishes one per epoch
+// and readers query it lock-free. Query methods live in query.go.
+type CoreSnapshot struct {
+	// Core maps each node to its core number. Callers must not mutate it.
+	Core []uint32
+	// Kmax is the degeneracy at snapshot time.
+	Kmax uint32
+	// NumEdges is the undirected edge count at snapshot time.
+	NumEdges int64
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time
+}
+
+func newCoreSnapshot(core []uint32, numEdges int64) *CoreSnapshot {
+	s := &CoreSnapshot{
+		Core:     append([]uint32(nil), core...),
+		NumEdges: numEdges,
+		TakenAt:  time.Now(),
+	}
+	s.Kmax = Degeneracy(s.Core)
+	return s
+}
+
+// Snapshot captures the maintainer's current core numbers as an immutable
+// CoreSnapshot. The copy decouples readers from subsequent maintenance:
+// the returned snapshot never changes, no matter how many edges are
+// inserted or deleted afterwards.
+func (m *Maintainer) Snapshot() *CoreSnapshot {
+	return newCoreSnapshot(m.session.Core(), m.g.NumEdges())
+}
+
+// Snapshot captures a finished decomposition as an immutable CoreSnapshot
+// for g (which must be the graph the result was computed on).
+func (r *Result) Snapshot(g *Graph) *CoreSnapshot {
+	return newCoreSnapshot(r.Core, g.NumEdges())
+}
 
 // Save persists a SemiCore* decomposition (core numbers plus support
 // counters) to path, so a later process can resume maintenance with
