@@ -22,8 +22,10 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Full serve benchmark grid; writes the BENCH_serve.json baseline that
-# later performance work is measured against.
+# Full serve benchmark grid — reader throughput, mixed workloads,
+# cached-vs-uncached memoized queries, and 1-vs-N-graph registry runs;
+# writes the BENCH_serve.json baseline (including the measured
+# kcore_cache_speedup) that later performance work is measured against.
 bench-serve:
 	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitServeBenchJSON -count=1 -v ./internal/serve
 

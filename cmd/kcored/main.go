@@ -1,81 +1,103 @@
 // Command kcored serves core-decomposition queries over HTTP while edge
-// updates stream in. It opens an on-disk graph, decomposes it once with
-// SemiCore*, and then serves every read from immutable epoch snapshots
-// (internal/serve): queries never block on updates, and updates are
+// updates stream in. It is a thin wiring layer: graphs are opened into
+// an engine.Registry (one epoch-snapshot serving engine per graph, see
+// internal/engine and internal/serve) and requests are routed by
+// internal/httpapi. Queries never block on updates; updates are
 // coalesced into batches maintained incrementally with SemiInsert*/
-// SemiDelete*.
+// SemiDelete*; repeated k-core/profile queries on an unchanged epoch are
+// served from the per-epoch memo.
 //
 // Usage:
 //
-//	kcored -graph /data/twitter -addr :8080
+//	kcored -graph /data/twitter -addr :8080 [-load social=/data/social ...]
 //
-// Endpoints:
-//
-//	GET  /healthz              liveness
-//	GET  /core?v=7             core number of node 7
-//	GET  /kcore?k=3&limit=100  nodes of the 3-core (limit 0 = all)
-//	GET  /degeneracy           kmax and k-core size profile
-//	GET  /stats                serving and I/O counters
-//	POST /update[?wait=1]      {"updates":[{"op":"insert","u":1,"v":2},...]}
+// The -graph flag names the default graph (served both at /g/default/...
+// and at the pre-registry single-graph routes); each -load name=path
+// flag opens an additional graph, and more can be added or dropped at
+// runtime through the /graphs admin endpoints. See internal/httpapi for
+// the full route list.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"kcore"
+	"kcore/internal/engine"
+	"kcore/internal/httpapi"
 	"kcore/internal/serve"
 )
 
+// DefaultGraph is the registry name of the graph from -graph, the one
+// the single-graph routes alias to.
+const DefaultGraph = "default"
+
 func main() {
 	var (
-		graphBase = flag.String("graph", "", "graph path prefix (required)")
+		graphBase = flag.String("graph", "", "default graph path prefix (required)")
 		addr      = flag.String("addr", "127.0.0.1:7171", "listen address (port 0 picks a free port)")
 		batch     = flag.Int("batch", 256, "max updates coalesced into one batch")
 		flush     = flag.Duration("flush", 2*time.Millisecond, "max delay before pending updates are applied")
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
 	)
+	extra := make(map[string]string)
+	flag.Func("load", "additional graph as name=path (repeatable)", func(s string) error {
+		name, path, ok := strings.Cut(s, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", s)
+		}
+		if _, dup := extra[name]; dup {
+			return fmt.Errorf("graph %q loaded twice", name)
+		}
+		extra[name] = path
+		return nil
+	})
 	flag.Parse()
 	if *graphBase == "" {
 		fmt.Fprintln(os.Stderr, "kcored: -graph is required")
 		os.Exit(2)
 	}
-	g, err := kcore.Open(*graphBase, &kcore.OpenOptions{BlockSize: *blockSize})
-	if err != nil {
-		fatal(err)
-	}
-	defer g.Close()
 
-	fmt.Printf("kcored: decomposing %s (%d nodes, %d edges)\n", *graphBase, g.NumNodes(), g.NumEdges())
-	sess, err := serve.New(g, &serve.Options{
-		MaxBatch:      *batch,
-		FlushInterval: *flush,
-		QueueCapacity: *queueCap,
+	reg := engine.NewRegistry(&engine.Options{
+		Serve: serve.Options{
+			MaxBatch:      *batch,
+			FlushInterval: *flush,
+			QueueCapacity: *queueCap,
+		},
+		Open: kcore.OpenOptions{BlockSize: *blockSize},
 	})
+	defer reg.Close()
+
+	fmt.Printf("kcored: decomposing %s\n", *graphBase)
+	eng, err := reg.Open(DefaultGraph, *graphBase)
 	if err != nil {
 		fatal(err)
 	}
-	defer sess.Close()
+	for name, path := range extra {
+		fmt.Printf("kcored: decomposing %s (graph %q)\n", path, name)
+		if _, err := reg.Open(name, path); err != nil {
+			fatal(err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(sess)}
+	srv := &http.Server{Handler: httpapi.New(reg, DefaultGraph)}
 	// The resolved address is printed (and flushed) before serving so
 	// harnesses using port 0 can discover the endpoint.
-	fmt.Printf("kcored: listening on http://%s (kmax %d, epoch %d)\n",
-		ln.Addr(), sess.Snapshot().Kmax, sess.Snapshot().Seq)
+	fmt.Printf("kcored: listening on http://%s (%d graphs, kmax %d, epoch %d)\n",
+		ln.Addr(), len(reg.Names()), eng.Snapshot().Kmax, eng.Snapshot().Seq)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -87,7 +109,8 @@ func main() {
 	case s := <-sigc:
 		fmt.Printf("kcored: %v, shutting down\n", s)
 		// Drain in-flight requests (a /update?wait=1 caller should get
-		// its response) before the deferred session/graph teardown.
+		// its response) before the deferred registry teardown closes
+		// every engine and graph.
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -99,168 +122,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "kcored: %v\n", err)
 	os.Exit(1)
-}
-
-// server adapts a ConcurrentSession to HTTP/JSON.
-type server struct {
-	sess *serve.ConcurrentSession
-	mux  *http.ServeMux
-}
-
-func newServer(sess *serve.ConcurrentSession) http.Handler {
-	s := &server{sess: sess, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /core", s.handleCore)
-	s.mux.HandleFunc("GET /kcore", s.handleKCore)
-	s.mux.HandleFunc("GET /degeneracy", s.handleDegeneracy)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /update", s.handleUpdate)
-	return s.mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// uintParam parses a required uint32 query parameter.
-func uintParam(r *http.Request, name string) (uint32, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, fmt.Errorf("missing query parameter %q", name)
-	}
-	x, err := strconv.ParseUint(raw, 10, 32)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s=%q: not a uint32", name, raw)
-	}
-	return uint32(x), nil
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": s.sess.Snapshot().Seq})
-}
-
-func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
-	v, err := uintParam(r, "v")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	snap := s.sess.Snapshot()
-	c, err := snap.CoreOf(v)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"node": v, "core": c, "epoch": snap.Seq})
-}
-
-func (s *server) handleKCore(w http.ResponseWriter, r *http.Request) {
-	k, err := uintParam(r, "k")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	limit := 0
-	if raw := r.URL.Query().Get("limit"); raw != "" {
-		if limit, err = strconv.Atoi(raw); err != nil || limit < 0 {
-			httpError(w, http.StatusBadRequest, "bad limit=%q", raw)
-			return
-		}
-	}
-	snap := s.sess.Snapshot()
-	nodes := snap.KCore(k)
-	count := len(nodes)
-	if limit > 0 && count > limit {
-		nodes = nodes[:limit]
-	}
-	if nodes == nil {
-		nodes = []uint32{}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"k": k, "count": count, "nodes": nodes, "epoch": snap.Seq,
-	})
-}
-
-func (s *server) handleDegeneracy(w http.ResponseWriter, r *http.Request) {
-	snap := s.sess.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"degeneracy": snap.Kmax,
-		"nodes":      snap.NumNodes(),
-		"edges":      snap.NumEdges,
-		"core_sizes": snap.Sizes(),
-		"epoch":      snap.Seq,
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.sess.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"serve":   s.sess.Stats(),
-		"io":      s.sess.IOStats(),
-		"epoch":   snap.Seq,
-		"applied": snap.Applied,
-		"nodes":   snap.NumNodes(),
-		"edges":   snap.NumEdges,
-	})
-}
-
-// updateRequest is the body of POST /update.
-type updateRequest struct {
-	Updates []updateJSON `json:"updates"`
-}
-
-type updateJSON struct {
-	Op string `json:"op"`
-	U  uint32 `json:"u"`
-	V  uint32 `json:"v"`
-}
-
-func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var req updateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if len(req.Updates) == 0 {
-		httpError(w, http.StatusBadRequest, "no updates")
-		return
-	}
-	ups := make([]serve.Update, len(req.Updates))
-	for i, u := range req.Updates {
-		switch u.Op {
-		case "insert":
-			ups[i] = serve.Update{Op: serve.OpInsert, U: u.U, V: u.V}
-		case "delete":
-			ups[i] = serve.Update{Op: serve.OpDelete, U: u.U, V: u.V}
-		default:
-			httpError(w, http.StatusBadRequest, "bad op %q (want insert or delete)", u.Op)
-			return
-		}
-	}
-	wait := r.URL.Query().Get("wait") != ""
-	var err error
-	if wait {
-		err = s.sess.Apply(ups...)
-	} else {
-		err = s.sess.Enqueue(ups...)
-	}
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	status := http.StatusAccepted
-	if wait {
-		status = http.StatusOK
-	}
-	writeJSON(w, status, map[string]any{
-		"enqueued": len(ups),
-		"waited":   wait,
-		"epoch":    s.sess.Snapshot().Seq,
-	})
 }

@@ -130,11 +130,13 @@ func TestKcorequeryCore(t *testing.T) {
 }
 
 // startKcored launches the daemon on an ephemeral port and returns its
-// base URL. The process is killed at test cleanup.
-func startKcored(t *testing.T) string {
+// base URL. The process is killed at test cleanup. Extra arguments are
+// appended to the command line.
+func startKcored(t *testing.T, extraArgs ...string) string {
 	t.Helper()
-	cmd := exec.Command(filepath.Join(binDir, "kcored"),
-		"-graph", graphBase, "-addr", "127.0.0.1:0", "-flush", "1ms")
+	args := append([]string{
+		"-graph", graphBase, "-addr", "127.0.0.1:0", "-flush", "1ms"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(binDir, "kcored"), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -282,5 +284,134 @@ func TestKcoredServesQueriesAndUpdates(t *testing.T) {
 	postJSON(t, http.StatusBadRequest, base+"/update", `{"updates":[{"op":"upsert","u":0,"v":1}]}`, &errResp)
 	if !strings.Contains(errResp.Error, "upsert") {
 		t.Fatalf("bad-op error %q does not name the op", errResp.Error)
+	}
+}
+
+// genFixture generates an extra social graph via the gengraph binary and
+// returns its path prefix.
+func genFixture(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "extra")
+	run(t, "gengraph", "-family", "social",
+		"-n", fmt.Sprint(n), "-k", "3", "-seed", fmt.Sprint(seed), "-out", base)
+	return base
+}
+
+// deleteJSON issues a DELETE and decodes the JSON response.
+func deleteJSON(t *testing.T, wantStatus int, url string, out any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("DELETE %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("DELETE %s: bad JSON: %v", url, err)
+	}
+}
+
+// TestKcoredMultiGraph boots kcored with a second graph preloaded via
+// -load, exercises the per-graph routes, and runs an admin create/drop
+// round-trip against a third graph — two-plus graphs served concurrently
+// from one process.
+func TestKcoredMultiGraph(t *testing.T) {
+	second := genFixture(t, 90, 11)
+	base := startKcored(t, "-load", "social="+second)
+
+	// Both graphs are listed and queryable under /g/{name}/...
+	var list struct {
+		Count  int    `json:"count"`
+		Graphs []struct {
+			Name  string `json:"name"`
+			Nodes uint32 `json:"nodes"`
+		} `json:"graphs"`
+	}
+	getJSON(t, http.StatusOK, base+"/graphs", &list)
+	if list.Count != 2 {
+		t.Fatalf("graphs count = %d, want 2", list.Count)
+	}
+	var core, legacy struct {
+		Core  uint32 `json:"core"`
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, http.StatusOK, base+"/g/social/core?v=0", &core)
+	getJSON(t, http.StatusOK, base+"/g/default/core?v=0", &core)
+	getJSON(t, http.StatusOK, base+"/core?v=0", &legacy)
+	if core != legacy {
+		t.Fatalf("/g/default/core %+v != /core %+v", core, legacy)
+	}
+
+	// Update the second graph; the default graph's epoch must not move.
+	var upd struct {
+		Enqueued int `json:"enqueued"`
+	}
+	postJSON(t, http.StatusOK, base+"/g/social/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":1},{"op":"delete","u":0,"v":1},{"op":"insert","u":0,"v":1}]}`, &upd)
+	var st struct {
+		Epoch uint64 `json:"epoch"`
+		Serve struct {
+			CacheMisses int64 `json:"cache_misses"`
+		} `json:"serve"`
+	}
+	getJSON(t, http.StatusOK, base+"/g/social/stats", &st)
+	if st.Epoch == 0 {
+		t.Fatal("social graph epoch did not advance")
+	}
+	getJSON(t, http.StatusOK, base+"/g/default/stats", &st)
+	if st.Epoch != 0 {
+		t.Fatalf("default graph epoch = %d, want 0 (isolation broken)", st.Epoch)
+	}
+
+	// Repeated k-core queries hit the per-epoch memo: one miss, rest hits.
+	var kc struct {
+		Count int `json:"count"`
+	}
+	for i := 0; i < 5; i++ {
+		getJSON(t, http.StatusOK, base+"/kcore?k=2", &kc)
+	}
+	var stats struct {
+		Serve struct {
+			CacheHits   int64 `json:"cache_hits"`
+			CacheMisses int64 `json:"cache_misses"`
+		} `json:"serve"`
+	}
+	getJSON(t, http.StatusOK, base+"/stats", &stats)
+	if stats.Serve.CacheMisses != 1 || stats.Serve.CacheHits < 4 {
+		t.Fatalf("cache hits/misses = %d/%d, want >=4/1", stats.Serve.CacheHits, stats.Serve.CacheMisses)
+	}
+
+	// Admin round-trip: create a third graph, query it, drop it.
+	third := genFixture(t, 70, 13)
+	var created struct {
+		Name  string `json:"name"`
+		Nodes uint32 `json:"nodes"`
+	}
+	postJSON(t, http.StatusCreated, base+"/graphs",
+		fmt.Sprintf(`{"name":"scratch","path":%q}`, third), &created)
+	if created.Nodes != 70 {
+		t.Fatalf("created = %+v", created)
+	}
+	getJSON(t, http.StatusOK, base+"/g/scratch/degeneracy", &st)
+	var dropped struct {
+		Dropped string `json:"dropped"`
+	}
+	deleteJSON(t, http.StatusOK, base+"/graphs/scratch", &dropped)
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, http.StatusNotFound, base+"/g/scratch/core?v=0", &errResp)
+	if !strings.Contains(errResp.Error, "scratch") {
+		t.Fatalf("post-drop error %q does not name the graph", errResp.Error)
+	}
+	getJSON(t, http.StatusOK, base+"/graphs", &list)
+	if list.Count != 2 {
+		t.Fatalf("graphs count after drop = %d, want 2", list.Count)
 	}
 }

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kcore"
+	"kcore/internal/serve"
+	"kcore/internal/stats"
+)
+
+// Options carries the shared defaults a Registry applies to every engine
+// it creates. The zero value selects the serve and open defaults.
+type Options struct {
+	// Serve tunes every session the registry starts. Counters is
+	// ignored: the registry allocates a private ServeCounters per
+	// engine so counters are always per-graph.
+	Serve serve.Options
+	// Open tunes every graph the registry opens from disk.
+	Open kcore.OpenOptions
+}
+
+// entry is one registered graph: the engine, the backing graph handle
+// and whether the registry owns (and must close) that handle.
+type entry struct {
+	name      string
+	base      string // path prefix for opened graphs, "" for attached
+	eng       Engine
+	g         *kcore.Graph
+	ownsGraph bool
+}
+
+// Registry owns a set of named engines sharing option defaults, so one
+// process can open, serve, and drop many graphs at runtime. All methods
+// are safe for concurrent use; engine lifetimes are coordinated — Drop
+// and Close drain each engine (publishing its final epoch) before the
+// backing graph is released.
+type Registry struct {
+	opts Options
+
+	mu     sync.RWMutex
+	byName map[string]*entry
+	closed bool
+}
+
+// NewRegistry creates an empty registry with the given defaults (nil
+// selects all defaults).
+func NewRegistry(opts *Options) *Registry {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return &Registry{opts: o, byName: make(map[string]*entry)}
+}
+
+// validName reports whether name is acceptable: URL-path and filename
+// safe, 1-64 chars of [A-Za-z0-9._-].
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// reserve claims name in the table (with a nil entry) so the expensive
+// open/decompose work can run outside the lock without a racing Open
+// taking the same name.
+func (r *Registry) reserve(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if !validName(name) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.byName[name] = nil
+	return nil
+}
+
+// commit installs the finished entry (or releases the reservation when
+// e is nil). It reports false when the registry was closed while the
+// entry was being built; the caller must then shut the entry down
+// itself — Close has already swept the table and will not see it.
+func (r *Registry) commit(name string, e *entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e == nil {
+		delete(r.byName, name)
+		return true
+	}
+	if r.closed {
+		return false
+	}
+	r.byName[name] = e
+	return true
+}
+
+// Open opens the on-disk graph at path prefix base, decomposes it, and
+// registers a serving engine for it under name. The registry owns the
+// graph handle and closes it when the entry is dropped.
+func (r *Registry) Open(name, base string) (Engine, error) {
+	if err := r.reserve(name); err != nil {
+		return nil, err
+	}
+	g, err := kcore.Open(base, &r.opts.Open)
+	if err != nil {
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: open %q: %w", name, err)
+	}
+	eng, err := r.start(g)
+	if err != nil {
+		g.Close() //nolint:errcheck // already failing; open error wins
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: start %q: %w", name, err)
+	}
+	e := &entry{name: name, base: base, eng: eng, g: g, ownsGraph: true}
+	if !r.commit(name, e) {
+		e.shutdown() //nolint:errcheck // ErrClosed wins
+		return nil, ErrClosed
+	}
+	return eng, nil
+}
+
+// Attach registers a serving engine for an already-open graph under
+// name. The caller keeps ownership of g (it is not closed on Drop) but
+// must not touch it directly while the engine is registered — the
+// engine's writer goroutine is the sole mutator.
+func (r *Registry) Attach(name string, g *kcore.Graph) (Engine, error) {
+	if err := r.reserve(name); err != nil {
+		return nil, err
+	}
+	eng, err := r.start(g)
+	if err != nil {
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: start %q: %w", name, err)
+	}
+	e := &entry{name: name, base: g.Base(), eng: eng, g: g}
+	if !r.commit(name, e) {
+		e.shutdown() //nolint:errcheck // ErrClosed wins
+		return nil, ErrClosed
+	}
+	return eng, nil
+}
+
+// start builds an engine for g from the shared defaults, with private
+// per-graph counters.
+func (r *Registry) start(g *kcore.Graph) (Engine, error) {
+	o := r.opts.Serve
+	o.Counters = new(stats.ServeCounters)
+	return serve.New(g, &o)
+}
+
+// Get returns the engine registered under name.
+func (r *Registry) Get(name string) (Engine, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byName[name]
+	if !ok || e == nil {
+		return nil, false
+	}
+	return e.eng, true
+}
+
+// Names lists the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for name, e := range r.byName {
+		if e != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GraphInfo summarises one registered graph for listings.
+type GraphInfo struct {
+	Name  string              `json:"name"`
+	Path  string              `json:"path,omitempty"`
+	Nodes uint32              `json:"nodes"`
+	Edges int64               `json:"edges"`
+	Kmax  uint32              `json:"kmax"`
+	Epoch uint64              `json:"epoch"`
+	Serve stats.ServeSnapshot `json:"serve"`
+}
+
+// List snapshots every registered graph, sorted by name. Each entry's
+// figures come from the graph's current epoch and per-graph counters.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.byName))
+	for _, e := range r.byName {
+		if e != nil {
+			entries = append(entries, e)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		snap := e.eng.Snapshot()
+		infos[i] = GraphInfo{
+			Name:  e.name,
+			Path:  e.base,
+			Nodes: snap.NumNodes(),
+			Edges: snap.NumEdges,
+			Kmax:  snap.Kmax,
+			Epoch: snap.Seq,
+			Serve: e.eng.Stats(),
+		}
+	}
+	return infos
+}
+
+// Drop unregisters name, drains and closes its engine, and closes the
+// backing graph if the registry owns it. In-flight readers holding
+// epochs are unaffected (epochs are immutable and self-contained).
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	e, ok := r.byName[name]
+	if !ok || e == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.byName, name)
+	r.mu.Unlock()
+	return e.shutdown()
+}
+
+// shutdown drains the engine then releases the graph, keeping the first
+// error.
+func (e *entry) shutdown() error {
+	err := e.eng.Close()
+	if e.ownsGraph {
+		if cerr := e.g.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close shuts every engine down concurrently (each drains its pending
+// updates and publishes a final epoch) and seals the registry; further
+// Open/Attach calls fail with ErrClosed. Close is idempotent and
+// returns the first shutdown error.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	entries := make([]*entry, 0, len(r.byName))
+	for _, e := range r.byName {
+		if e != nil {
+			entries = append(entries, e)
+		}
+	}
+	r.byName = make(map[string]*entry)
+	r.mu.Unlock()
+
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, e *entry) {
+			defer wg.Done()
+			errs[i] = e.shutdown()
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

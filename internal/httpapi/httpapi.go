@@ -1,0 +1,315 @@
+// Package httpapi is the HTTP/JSON layer of the serving stack. It turns
+// an engine.Registry into an http.Handler, keeping all request parsing,
+// routing and encoding out of both the engines and cmd/kcored (which
+// shrinks to flag parsing + wiring).
+//
+// Routes:
+//
+//	GET    /healthz                     liveness + per-graph epochs
+//	GET    /graphs                      list registered graphs
+//	POST   /graphs                      open a graph: {"name":..,"path":..}
+//	DELETE /graphs/{name}               drain and drop a graph
+//	GET    /g/{name}/core?v=7           core number of node 7
+//	GET    /g/{name}/kcore?k=3&limit=9  k-core members (memoized per epoch)
+//	GET    /g/{name}/degeneracy         kmax and k-core size profile
+//	GET    /g/{name}/stats              serving + I/O counters
+//	POST   /g/{name}/update[?wait=1]    {"updates":[{"op":"insert","u":1,"v":2},..]}
+//
+// The single-graph routes from before the registry existed (/core,
+// /kcore, /degeneracy, /stats, /update) are kept as aliases for a
+// designated default graph: same paths, parameters, status codes and
+// response shapes. One deliberate behaviour change: /kcore lists nodes
+// core-descending (the memoized bucket order) instead of id-ascending,
+// so a limit keeps the most deeply embedded members.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kcore/internal/engine"
+	"kcore/internal/serve"
+)
+
+// Server routes requests to engines resolved by graph name through a
+// Registry. Build one with New.
+type Server struct {
+	reg *engine.Registry
+	def string // graph name the legacy single-graph routes resolve to
+	mux *http.ServeMux
+}
+
+// New builds the API handler over reg. defaultGraph names the graph the
+// legacy single-graph routes serve; it does not need to exist yet (the
+// aliases 404 until it is registered).
+func New(reg *engine.Registry, defaultGraph string) *Server {
+	s := &Server{reg: reg, def: defaultGraph, mux: http.NewServeMux()}
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /graphs", s.handleCreateGraph)
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleDropGraph)
+
+	// Per-graph routes and their single-graph aliases share handlers:
+	// the alias path simply resolves to the default graph's engine.
+	s.mux.HandleFunc("GET /g/{name}/core", s.graph(handleCore))
+	s.mux.HandleFunc("GET /g/{name}/kcore", s.graph(handleKCore))
+	s.mux.HandleFunc("GET /g/{name}/degeneracy", s.graph(handleDegeneracy))
+	s.mux.HandleFunc("GET /g/{name}/stats", s.graph(handleStats))
+	s.mux.HandleFunc("POST /g/{name}/update", s.graph(handleUpdate))
+	s.mux.HandleFunc("GET /core", s.graph(handleCore))
+	s.mux.HandleFunc("GET /kcore", s.graph(handleKCore))
+	s.mux.HandleFunc("GET /degeneracy", s.graph(handleDegeneracy))
+	s.mux.HandleFunc("GET /stats", s.graph(handleStats))
+	s.mux.HandleFunc("POST /update", s.graph(handleUpdate))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// graph adapts a per-engine handler to the mux: it resolves the {name}
+// path value (empty on the legacy alias routes, which map to the
+// default graph) and answers 404 for unknown names.
+func (s *Server) graph(h func(eng engine.Engine, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "" {
+			name = s.def
+		}
+		eng, ok := s.reg.Get(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown graph %q", name)
+			return
+		}
+		h(eng, w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// uintParam parses a required uint32 query parameter.
+func uintParam(r *http.Request, name string) (uint32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	x, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: not a uint32", name, raw)
+	}
+	return uint32(x), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness probes poll this: stick to atomic epoch loads, no
+	// counter snapshots (reg.List() would build one per graph).
+	epochs := make(map[string]uint64)
+	for _, name := range s.reg.Names() {
+		if eng, ok := s.reg.Get(name); ok {
+			epochs[name] = eng.Snapshot().Seq
+		}
+	}
+	resp := map[string]any{"status": "ok", "graphs": epochs}
+	// Pre-registry shape: surface the default graph's epoch when present.
+	if seq, ok := epochs[s.def]; ok {
+		resp["epoch"] = seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	infos := s.reg.List()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(infos),
+		"default": s.def,
+		"graphs":  infos,
+	})
+}
+
+// createGraphRequest is the body of POST /graphs.
+type createGraphRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var req createGraphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		httpError(w, http.StatusBadRequest, "name and path are required")
+		return
+	}
+	eng, err := s.reg.Open(req.Name, req.Path)
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrExists):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, engine.ErrBadName):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	default:
+		// Open/decompose failures (missing files, bad format, ...).
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	snap := eng.Snapshot()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":  req.Name,
+		"nodes": snap.NumNodes(),
+		"edges": snap.NumEdges,
+		"kmax":  snap.Kmax,
+		"epoch": snap.Seq,
+	})
+}
+
+func (s *Server) handleDropGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Drop(name); err != nil {
+		if errors.Is(err, engine.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+func handleCore(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	v, err := uintParam(r, "v")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap := eng.Snapshot()
+	c, err := snap.CoreOf(v)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": v, "core": c, "epoch": snap.Seq})
+}
+
+func handleKCore(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	k, err := uintParam(r, "k")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		if limit, err = strconv.Atoi(raw); err != nil || limit < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit=%q", raw)
+			return
+		}
+	}
+	snap := eng.Snapshot()
+	// Memoized path: first query per epoch computes the buckets, later
+	// ones (any k) reuse them. The slice is shared with the epoch, so
+	// only read from it; limiting takes a subslice, never a mutation.
+	nodes := snap.KCoreAt(k)
+	count := len(nodes)
+	if limit > 0 && count > limit {
+		nodes = nodes[:limit]
+	}
+	if nodes == nil {
+		nodes = []uint32{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"k": k, "count": count, "nodes": nodes, "epoch": snap.Seq,
+	})
+}
+
+func handleDegeneracy(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	snap := eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"degeneracy": snap.Kmax,
+		"nodes":      snap.NumNodes(),
+		"edges":      snap.NumEdges,
+		"core_sizes": snap.Profile(),
+		"epoch":      snap.Seq,
+	})
+}
+
+func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	snap := eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serve":   eng.Stats(),
+		"io":      eng.IOStats(),
+		"epoch":   snap.Seq,
+		"applied": snap.Applied,
+		"nodes":   snap.NumNodes(),
+		"edges":   snap.NumEdges,
+	})
+}
+
+// updateRequest is the body of POST /update.
+type updateRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type updateJSON struct {
+	Op string `json:"op"`
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+}
+
+func handleUpdate(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "no updates")
+		return
+	}
+	ups := make([]serve.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		switch u.Op {
+		case "insert":
+			ups[i] = serve.Update{Op: serve.OpInsert, U: u.U, V: u.V}
+		case "delete":
+			ups[i] = serve.Update{Op: serve.OpDelete, U: u.U, V: u.V}
+		default:
+			httpError(w, http.StatusBadRequest, "bad op %q (want insert or delete)", u.Op)
+			return
+		}
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	var err error
+	if wait {
+		err = eng.Apply(ups...)
+	} else {
+		err = eng.Enqueue(ups...)
+	}
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if wait {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{
+		"enqueued": len(ups),
+		"waited":   wait,
+		"epoch":    eng.Snapshot().Seq,
+	})
+}

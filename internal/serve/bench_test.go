@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,9 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/engine"
+	"kcore/internal/gen"
+	"kcore/internal/graphio"
 	"kcore/internal/serve"
 )
 
@@ -170,6 +174,143 @@ func BenchmarkServeMixedWorkload(b *testing.B) {
 	}
 }
 
+// benchKCoreQuery measures one k-core membership query against a fixed
+// epoch: the uncached path is the O(n) filter scan on the embedded
+// CoreSnapshot, the cached path is the per-epoch memo (first call pays
+// one counting sort, the rest are subslices). The ratio between the two
+// is the memoization speedup recorded in BENCH_serve.json.
+func benchKCoreQuery(b *testing.B, cached bool) {
+	g, _ := openGraph(b, benchGraphNodes, 27)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	e := sess.Snapshot()
+	k := e.Kmax / 2
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cached {
+			sink += len(e.KCoreAt(k))
+		} else {
+			sink += len(e.KCore(k))
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("k-core unexpectedly empty")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkKCoreQuery compares repeated k-core queries against an
+// unchanged epoch with and without the per-epoch memo.
+func BenchmarkKCoreQuery(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) { benchKCoreQuery(b, cached) })
+	}
+}
+
+// writeBenchGraph materialises a graph fixture on disk for registry
+// benchmarks and returns its path prefix and edge list.
+func writeBenchGraph(tb testing.TB, n uint32, seed int64) (string, []kcore.Edge) {
+	tb.Helper()
+	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
+	base := filepath.Join(tb.TempDir(), fmt.Sprintf("g%d", seed))
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		tb.Fatal(err)
+	}
+	return base, csr.EdgeList()
+}
+
+// multiGraphWorkers is the fixed worker-pool size of the multi-graph
+// mixed benchmark: the pool stays constant while the graph count varies.
+const multiGraphWorkers = 8
+
+// benchMultiGraphMixed measures the registry serving a mixed workload
+// (15:1 read:update, as benchMixed) spread across `graphs` independent
+// graphs in one process: multiGraphWorkers workers round-robin over the
+// graphs, each toggling worker-owned edges. One graph reproduces the
+// single-writer bottleneck; more graphs scale it out (shard = engine).
+func benchMultiGraphMixed(b *testing.B, graphs int) {
+	reg := engine.NewRegistry(nil)
+	defer reg.Close()
+	engines := make([]engine.Engine, graphs)
+	edgeLists := make([][]kcore.Edge, graphs)
+	for i := 0; i < graphs; i++ {
+		base, edges := writeBenchGraph(b, benchGraphNodes, int64(40+i))
+		eng, err := reg.Open(fmt.Sprintf("g%d", i), base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i], edgeLists[i] = eng, edges
+	}
+
+	const workers = multiGraphWorkers
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % workers
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			eng := engines[w%graphs]
+			edges := edgeLists[w%graphs]
+			// Worker-owned slice of its graph's edges: no dup rejects
+			// between the (at most workers/graphs) workers per graph.
+			slot, slots := w/graphs, (workers+graphs-1)/graphs
+			own := edges[slot*len(edges)/slots : (slot+1)*len(edges)/slots]
+			v := uint32(w)
+			for i := 0; i < n; i++ {
+				if i%16 == 15 && len(own) > 0 {
+					e := own[i%len(own)]
+					if err := eng.Enqueue(
+						serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
+						serve.Update{Op: serve.OpInsert, U: e.U, V: e.V},
+					); err != nil {
+						b.Errorf("enqueue: %v", err)
+						return
+					}
+					continue
+				}
+				snap := eng.Snapshot()
+				if _, err := snap.CoreOf(v % snap.NumNodes()); err != nil {
+					b.Error(err)
+					return
+				}
+				v += 13
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	for _, eng := range engines {
+		if err := eng.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkMultiGraphMixedWorkload measures mixed-workload throughput
+// as the same worker pool is spread over 1 vs N graphs in one registry.
+func BenchmarkMultiGraphMixedWorkload(b *testing.B) {
+	for _, graphs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("graphs=%d", graphs), func(b *testing.B) {
+			benchMultiGraphMixed(b, graphs)
+		})
+	}
+}
+
 // TestEmitServeBenchJSON runs the serve benchmark grid via
 // testing.Benchmark and writes the results to the file named by
 // KCORE_BENCH_JSON (the `make bench-serve` artifact BENCH_serve.json),
@@ -188,7 +329,7 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		OpsPerSec float64 `json:"ops_per_sec"`
 	}
 	var entries []entry
-	record := func(name string, readers int, writer string, run func(b *testing.B)) {
+	record := func(name string, readers int, writer string, run func(b *testing.B)) entry {
 		res := testing.Benchmark(run)
 		e := entry{Name: name, Readers: readers, Writer: writer, N: res.N,
 			NsPerOp: float64(res.NsPerOp())}
@@ -197,6 +338,7 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		}
 		entries = append(entries, e)
 		t.Logf("%s: %.0f ops/s (%.0f ns/op, n=%d)", name, e.OpsPerSec, e.NsPerOp, e.N)
+		return e
 	}
 	for _, readers := range []int{1, 4, 16} {
 		for _, busy := range []bool{false, true} {
@@ -214,13 +356,33 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		record(fmt.Sprintf("ServeMixedWorkload/workers=%d", workers),
 			workers, "mixed", func(b *testing.B) { benchMixed(b, workers) })
 	}
+	// Cached vs uncached k-core membership queries against one epoch;
+	// the ratio is the acceptance figure for per-epoch memoization.
+	uncached := record("KCoreQuery/uncached", 1, "idle",
+		func(b *testing.B) { benchKCoreQuery(b, false) })
+	cached := record("KCoreQuery/cached", 1, "idle",
+		func(b *testing.B) { benchKCoreQuery(b, true) })
+	speedup := 0.0
+	if cached.NsPerOp > 0 {
+		speedup = uncached.NsPerOp / cached.NsPerOp
+	}
+	t.Logf("k-core memoization speedup: %.1fx", speedup)
+	// Mixed workload spread over 1 vs N graphs in one registry. The
+	// worker pool is fixed at 8 (recorded as readers); the graph count
+	// varies and lives in the benchmark name.
+	for _, graphs := range []int{1, 2, 4} {
+		graphs := graphs
+		record(fmt.Sprintf("MultiGraphMixedWorkload/graphs=%d", graphs),
+			multiGraphWorkers, "mixed", func(b *testing.B) { benchMultiGraphMixed(b, graphs) })
+	}
 	doc := map[string]any{
-		"benchmark":    "serve",
-		"go":           runtime.Version(),
-		"gomaxprocs":   runtime.GOMAXPROCS(0),
-		"graph_nodes":  benchGraphNodes,
-		"generated_at": time.Now().UTC().Format(time.RFC3339),
-		"results":      entries,
+		"benchmark":           "serve",
+		"go":                  runtime.Version(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"graph_nodes":         benchGraphNodes,
+		"generated_at":        time.Now().UTC().Format(time.RFC3339),
+		"kcore_cache_speedup": speedup,
+		"results":             entries,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,150 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+
+	"kcore/internal/serve"
+)
+
+// sameNodeSet reports whether two node lists contain the same nodes,
+// ignoring order.
+func sameNodeSet(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[uint32]struct{}, len(a))
+	for _, v := range a {
+		set[v] = struct{}{}
+	}
+	for _, v := range b {
+		if _, ok := set[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKCoreAtMatchesScan checks the memoized path against the uncached
+// O(n) filter for every k, including k past the degeneracy, plus the
+// documented ordering (core descending, ties by id ascending).
+func TestKCoreAtMatchesScan(t *testing.T) {
+	g, _ := openGraph(t, 400, 17)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := sess.Snapshot()
+	for k := uint32(0); k <= e.Kmax+2; k++ {
+		want := e.KCore(k) // uncached scan on the embedded snapshot
+		got := e.KCoreAt(k)
+		if !sameNodeSet(want, got) {
+			t.Fatalf("k=%d: KCoreAt has %d nodes, scan has %d", k, len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			cp, cc := e.Core[got[i-1]], e.Core[got[i]]
+			if cp < cc || (cp == cc && got[i-1] >= got[i]) {
+				t.Fatalf("k=%d: order violated at %d: node %d (core %d) before node %d (core %d)",
+					k, i, got[i-1], cp, got[i], cc)
+			}
+		}
+	}
+
+	wantSizes := e.Sizes()
+	gotSizes := e.Profile()
+	if len(wantSizes) != len(gotSizes) {
+		t.Fatalf("Profile has %d entries, Sizes has %d", len(gotSizes), len(wantSizes))
+	}
+	for k := range wantSizes {
+		if wantSizes[k] != gotSizes[k] {
+			t.Fatalf("Profile[%d] = %d, want %d", k, gotSizes[k], wantSizes[k])
+		}
+	}
+}
+
+// TestMemoCountsHitsAndMisses checks the cache accounting: one miss per
+// epoch (the computation), hits for every query after it, and a fresh
+// miss once a new epoch is published.
+func TestMemoCountsHitsAndMisses(t *testing.T) {
+	g, edges := openGraph(t, 150, 29)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := sess.Snapshot()
+	for i := 0; i < 10; i++ {
+		e.KCoreAt(2)
+		e.Profile()
+	}
+	st := sess.Stats()
+	if st.CacheMisses != 1 {
+		t.Fatalf("cache misses = %d, want 1", st.CacheMisses)
+	}
+	if st.CacheHits != 19 {
+		t.Fatalf("cache hits = %d, want 19", st.CacheHits)
+	}
+	if r := st.CacheHitRate(); r < 0.94 || r > 0.96 {
+		t.Fatalf("hit rate = %.3f, want 19/20", r)
+	}
+
+	// A new epoch starts cold: its first query is a miss again.
+	ed := edges[0]
+	if err := sess.Apply(
+		serve.Update{Op: serve.OpDelete, U: ed.U, V: ed.V},
+		serve.Update{Op: serve.OpInsert, U: ed.U, V: ed.V},
+	); err != nil {
+		t.Fatal(err)
+	}
+	e2 := sess.Snapshot()
+	if e2.Seq == e.Seq {
+		t.Fatal("epoch did not advance")
+	}
+	e2.KCoreAt(1)
+	if st := sess.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("cache misses after new epoch = %d, want 2", st.CacheMisses)
+	}
+	// The old epoch's memo is untouched and still hot.
+	e.KCoreAt(3)
+	if st := sess.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("old epoch recomputed: misses = %d, want 2", st.CacheMisses)
+	}
+}
+
+// TestMemoConcurrentFirstAccess hammers a cold epoch from many
+// goroutines; under -race this checks the sync.Once publication, and the
+// counters must record exactly one miss.
+func TestMemoConcurrentFirstAccess(t *testing.T) {
+	g, _ := openGraph(t, 300, 31)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := sess.Snapshot()
+	const goroutines = 16
+	results := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.KCoreAt(uint32(i % 4))
+			_ = e.Profile()
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		want := e.KCoreAt(uint32(i % 4))
+		if len(r) != len(want) {
+			t.Fatalf("goroutine %d saw %d nodes, want %d", i, len(r), len(want))
+		}
+	}
+	if st := sess.Stats(); st.CacheMisses != 1 {
+		t.Fatalf("concurrent first access: misses = %d, want 1", st.CacheMisses)
+	}
+}

@@ -53,6 +53,12 @@ type Update struct {
 // Epoch is one published state of the decomposition. The embedded
 // CoreSnapshot is immutable; an Epoch, once obtained from Snapshot, stays
 // valid and unchanging forever (later epochs are new allocations).
+//
+// Because of that immutability, expensive derived answers are memoized
+// per epoch: the first KCoreAt/Profile call computes them once (guarded
+// by sync.Once, so concurrent first callers are safe) and every later
+// call against the same epoch is served lock-free from the memo. See
+// memo.go. Epochs must not be copied once published.
 type Epoch struct {
 	*kcore.CoreSnapshot
 	// Seq is the publication sequence number, starting at 0 for the
@@ -61,6 +67,12 @@ type Epoch struct {
 	// Applied is the cumulative count of edge updates applied up to and
 	// including this epoch.
 	Applied uint64
+
+	// memo lazily caches derived query results; ctr (the owning
+	// session's counters, nil for detached epochs) receives the
+	// hit/miss accounting.
+	memo epochMemo
+	ctr  *stats.ServeCounters
 }
 
 // Options tunes a ConcurrentSession. The zero value selects defaults.
@@ -225,6 +237,10 @@ func (s *ConcurrentSession) Stats() stats.ServeSnapshot {
 // IOStats reports the block I/O performed through the underlying graph.
 func (s *ConcurrentSession) IOStats() kcore.IOStats { return s.g.IOStats() }
 
+// Counters exposes the live serving counters shared with published
+// epochs; callers may read them concurrently (all fields are atomic).
+func (s *ConcurrentSession) Counters() *stats.ServeCounters { return s.ctr }
+
 // Close stops the writer after draining already-enqueued updates and
 // publishing the final epoch. The last Snapshot stays readable. Close
 // does not close the underlying Graph — the caller owns it.
@@ -251,7 +267,7 @@ func (s *ConcurrentSession) publish(snap *kcore.CoreSnapshot, appliedNow int) {
 		seq = prev.Seq + 1
 		applied = prev.Applied
 	}
-	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied + uint64(appliedNow)}
+	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied + uint64(appliedNow), ctr: s.ctr}
 	s.cur.Store(e)
 	s.ctr.NotePublish(e.Seq, snap.TakenAt)
 	if s.opts.OnPublish != nil {

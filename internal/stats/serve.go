@@ -23,6 +23,9 @@ type ServeCounters struct {
 	queueDepth atomic.Int64 // gauge: updates waiting in the ingest queue
 	epoch      atomic.Uint64
 	published  atomic.Int64 // UnixNano of the last epoch publication
+
+	cacheHits   atomic.Int64 // memoized epoch queries answered from a computed memo
+	cacheMisses atomic.Int64 // memoized epoch queries that had to compute the memo
 }
 
 // NoteEnqueued records n updates accepted into the ingest queue.
@@ -54,6 +57,14 @@ func (c *ServeCounters) NotePublish(seq uint64, now time.Time) {
 // SetQueueDepth updates the queue-depth gauge.
 func (c *ServeCounters) SetQueueDepth(n int) { c.queueDepth.Store(int64(n)) }
 
+// NoteCacheHit records a memoized epoch query served from an
+// already-computed memo (a pointer load, no scan).
+func (c *ServeCounters) NoteCacheHit() { c.cacheHits.Add(1) }
+
+// NoteCacheMiss records the first memoized query against an epoch: the
+// one that pays the O(n) derivation the later hits reuse.
+func (c *ServeCounters) NoteCacheMiss() { c.cacheMisses.Add(1) }
+
 // Epoch reports the sequence number of the last published epoch.
 func (c *ServeCounters) Epoch() uint64 { return c.epoch.Load() }
 
@@ -69,6 +80,8 @@ func (c *ServeCounters) Snapshot(now time.Time) ServeSnapshot {
 		BatchEdgesMax: c.batchEdgesMax.Load(),
 		QueueDepth:    c.queueDepth.Load(),
 		Epoch:         c.epoch.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMisses:   c.cacheMisses.Load(),
 	}
 	if nanos := c.published.Load(); nanos != 0 {
 		s.EpochAge = now.Sub(time.Unix(0, nanos))
@@ -88,6 +101,18 @@ type ServeSnapshot struct {
 	QueueDepth    int64         `json:"queue_depth"`
 	Epoch         uint64        `json:"epoch"`
 	EpochAge      time.Duration `json:"epoch_age_ns"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+}
+
+// CacheHitRate reports the fraction of memoized epoch queries served
+// without recomputation, in [0,1]; 0 when no such queries ran.
+func (s ServeSnapshot) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // MeanBatchEdges reports the average applied batch size.

@@ -49,6 +49,24 @@ func TestServeCountersZeroValue(t *testing.T) {
 	if s.MeanBatchEdges() != 0 {
 		t.Fatalf("mean batch on fresh counters = %v, want 0", s.MeanBatchEdges())
 	}
+	if s.CacheHitRate() != 0 {
+		t.Fatalf("hit rate on fresh counters = %v, want 0", s.CacheHitRate())
+	}
+}
+
+func TestServeCountersCache(t *testing.T) {
+	var c ServeCounters
+	c.NoteCacheMiss()
+	for i := 0; i < 3; i++ {
+		c.NoteCacheHit()
+	}
+	s := c.Snapshot(time.Now())
+	if s.CacheHits != 3 || s.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.CacheHits, s.CacheMisses)
+	}
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Fatalf("CacheHitRate = %v, want 0.75", got)
+	}
 }
 
 func TestServeCountersConcurrent(t *testing.T) {

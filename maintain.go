@@ -121,8 +121,13 @@ func (m *Maintainer) DeleteEdge(u, v uint32) (RunInfo, error) {
 
 // DeleteEdges removes a batch of edges with a single converge pass —
 // cheaper than one DeleteEdge per edge when the batch is large, because
-// the affected region is scanned once. The batch is atomic: if any edge
-// is invalid, the graph is left unchanged.
+// the affected region is scanned once. The batch is atomic with respect
+// to invalid edges: if any edge is absent (or duplicated within the
+// batch, which makes its second occurrence absent), the already-removed
+// prefix is rolled back and the graph is left unchanged. Note the
+// asymmetry with InsertEdges, which applies edge-by-edge and does NOT
+// roll back; callers that need all-or-nothing semantics for insertions
+// must validate the batch first (as internal/serve does).
 func (m *Maintainer) DeleteEdges(edges []Edge) (RunInfo, error) {
 	before := m.g.IOStats()
 	rs, err := m.session.BatchDelete(edges)
@@ -134,7 +139,14 @@ func (m *Maintainer) DeleteEdges(edges []Edge) (RunInfo, error) {
 
 // InsertEdges adds a batch of edges, applying the configured insertion
 // algorithm per edge (no sound single-pass shortcut exists for
-// insertions; see internal/maintain.BatchInsert).
+// insertions; see internal/maintain.BatchInsert). The batch is NOT
+// atomic: edges are validated as they are applied, so when a mid-batch
+// edge errors (duplicate, self-loop, out-of-range id) the
+// already-inserted prefix stays applied — with exact core numbers — and
+// the failing edge and everything after it are not. This holds on both
+// the SemiInsert* and the two-phase SemiInsert path. Callers needing
+// all-or-nothing behaviour must pre-validate the batch against the
+// graph (see internal/serve's applyRun) or delete the prefix on error.
 func (m *Maintainer) InsertEdges(edges []Edge) (RunInfo, error) {
 	if m.insert == SemiInsertTwoPhase {
 		var total RunInfo
