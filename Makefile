@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet bench bench-serve clean
+.PHONY: all test race vet bench bench-serve profile clean
 
 all: test vet
 
@@ -28,6 +28,15 @@ bench:
 # kcore_cache_speedup) that later performance work is measured against.
 bench-serve:
 	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitServeBenchJSON -count=1 -v ./internal/serve
+
+# Interactive CPU profile of a running `kcored -pprof` instance (the
+# publish path, memo repairs, coalescing — whatever is hot). Override
+# PROFILE_ADDR to point at a non-default listen address and
+# PROFILE_SECONDS to change the sample window.
+PROFILE_ADDR ?= 127.0.0.1:7171
+PROFILE_SECONDS ?= 30
+profile:
+	$(GO) tool pprof -seconds $(PROFILE_SECONDS) http://$(PROFILE_ADDR)/debug/pprof/profile
 
 clean:
 	$(GO) clean ./...

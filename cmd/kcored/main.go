@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +49,7 @@ func main() {
 		flush     = flag.Duration("flush", 2*time.Millisecond, "max delay before pending updates are applied")
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux (see `make profile`); leave off in production")
 	)
 	extra := make(map[string]string)
 	flag.Func("load", "additional graph as name=path (repeatable)", func(s string) error {
@@ -93,7 +95,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: httpapi.New(reg, DefaultGraph)}
+	var handler http.Handler = httpapi.New(reg, DefaultGraph)
+	if *pprofOn {
+		// Opt-in profiling: mount the pprof handlers next to the API so
+		// the publish path (and anything else) can be profiled in place
+		// with `go tool pprof http://addr/debug/pprof/profile`.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("kcored: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	// The resolved address is printed (and flushed) before serving so
 	// harnesses using port 0 can discover the endpoint.
 	fmt.Printf("kcored: listening on http://%s (%d graphs, kmax %d, epoch %d)\n",

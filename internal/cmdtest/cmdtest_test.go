@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -243,18 +244,26 @@ func TestKcoredServesQueriesAndUpdates(t *testing.T) {
 		t.Fatalf("kcore count=%d nodes=%d, want count>0 and <=5 nodes", kc.Count, len(kc.Nodes))
 	}
 
-	// Toggle an edge synchronously and watch the epoch advance.
+	// Toggle an edge synchronously across two waits (a delete+re-insert
+	// pair in one request would annihilate in the coalescer and publish
+	// nothing) and watch the epoch advance each time.
 	var upd struct {
 		Enqueued int    `json:"enqueued"`
 		Epoch    uint64 `json:"epoch"`
 	}
 	postJSON(t, http.StatusOK, base+"/update?wait=1",
-		`{"updates":[{"op":"insert","u":0,"v":1},{"op":"delete","u":0,"v":1},{"op":"insert","u":0,"v":1}]}`, &upd)
-	if upd.Enqueued != 3 {
-		t.Fatalf("enqueued = %d, want 3", upd.Enqueued)
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+	if upd.Enqueued != 1 {
+		t.Fatalf("enqueued = %d, want 1", upd.Enqueued)
 	}
 	if upd.Epoch == 0 {
 		t.Fatal("epoch did not advance past initial decomposition")
+	}
+	prevEpoch := upd.Epoch
+	postJSON(t, http.StatusOK, base+"/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":1}]}`, &upd)
+	if upd.Epoch <= prevEpoch {
+		t.Fatalf("epoch = %d after re-insert, want > %d", upd.Epoch, prevEpoch)
 	}
 
 	var st struct {
@@ -265,11 +274,8 @@ func TestKcoredServesQueriesAndUpdates(t *testing.T) {
 		Epoch uint64 `json:"epoch"`
 	}
 	getJSON(t, http.StatusOK, base+"/stats", &st)
-	if st.Serve.Enqueued != 3 {
-		t.Fatalf("stats enqueued = %d, want 3", st.Serve.Enqueued)
-	}
-	if st.Serve.Applied == 0 {
-		t.Fatal("stats applied = 0, want > 0")
+	if st.Serve.Enqueued != 2 || st.Serve.Applied != 2 {
+		t.Fatalf("stats enqueued/applied = %d/%d, want 2/2", st.Serve.Enqueued, st.Serve.Applied)
 	}
 
 	// Error paths: missing parameter and malformed body.
@@ -349,11 +355,14 @@ func TestKcoredMultiGraph(t *testing.T) {
 	}
 
 	// Update the second graph; the default graph's epoch must not move.
+	// (One net op per request — an opposing pair would annihilate.)
 	var upd struct {
 		Enqueued int `json:"enqueued"`
 	}
 	postJSON(t, http.StatusOK, base+"/g/social/update?wait=1",
-		`{"updates":[{"op":"insert","u":0,"v":1},{"op":"delete","u":0,"v":1},{"op":"insert","u":0,"v":1}]}`, &upd)
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+	postJSON(t, http.StatusOK, base+"/g/social/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":1}]}`, &upd)
 	var st struct {
 		Epoch uint64 `json:"epoch"`
 		Serve struct {
@@ -413,5 +422,36 @@ func TestKcoredMultiGraph(t *testing.T) {
 	getJSON(t, http.StatusOK, base+"/graphs", &list)
 	if list.Count != 2 {
 		t.Fatalf("graphs count after drop = %d, want 2", list.Count)
+	}
+}
+
+// TestKcoredPprofOptIn checks the profiling endpoints: mounted only when
+// -pprof is passed, absent (404) by default.
+func TestKcoredPprofOptIn(t *testing.T) {
+	withFlag := startKcored(t, "-pprof")
+	resp, err := http.Get(withFlag + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with -pprof = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %.120s", body)
+	}
+
+	without := startKcored(t)
+	resp, err = http.Get(without + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
 	}
 }

@@ -331,7 +331,19 @@ func TestConcurrentSessionAgreesWithRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { g.Close() })
-	sess, err := serve.New(g, &serve.Options{MaxBatch: 32, FlushInterval: time.Millisecond})
+	// Every published epoch is captured so the copy-on-write snapshots
+	// can be cross-checked pairwise after the workload.
+	var pubMu sync.Mutex
+	var published []*serve.Epoch
+	sess, err := serve.New(g, &serve.Options{
+		MaxBatch:      32,
+		FlushInterval: time.Millisecond,
+		OnPublish: func(e *serve.Epoch) {
+			pubMu.Lock()
+			published = append(published, e)
+			pubMu.Unlock()
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +390,7 @@ func TestConcurrentSessionAgreesWithRecompute(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := fmt.Sprint(imcore.Decompose(cur, nil).Core)
-		if got := fmt.Sprint(sess.Snapshot().Core); got != want {
+		if got := fmt.Sprint(sess.Snapshot().Cores()); got != want {
 			t.Fatalf("step %d: published epoch diverges from recomputation", step)
 		}
 	}
@@ -386,6 +398,42 @@ func TestConcurrentSessionAgreesWithRecompute(t *testing.T) {
 	wg.Wait()
 	if err := sess.Close(); err != nil {
 		t.Fatal(err)
+	}
+
+	// Dirty-set soundness across the copy-on-write epochs: for every
+	// consecutive pair, the set of nodes whose core number changed must
+	// be exactly the published Dirty set — no changed node may be
+	// missing (or a shared chunk could hide a stale core number), and
+	// the writer filters net-unchanged nodes out, so no extras either.
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if len(published) < 2 {
+		t.Fatalf("captured %d epochs, want >= 2", len(published))
+	}
+	for i := 1; i < len(published); i++ {
+		prev, cur := published[i-1], published[i]
+		if cur.Seq != prev.Seq+1 {
+			t.Fatalf("publication order broken: %d after %d", cur.Seq, prev.Seq)
+		}
+		dirty := make(map[uint32]struct{}, len(cur.Dirty()))
+		for _, v := range cur.Dirty() {
+			dirty[v] = struct{}{}
+		}
+		changed := 0
+		prevCores, curCores := prev.Cores(), cur.Cores()
+		for v := range curCores {
+			if prevCores[v] == curCores[v] {
+				continue
+			}
+			changed++
+			if _, ok := dirty[uint32(v)]; !ok {
+				t.Fatalf("epoch %d: core(%d) changed %d -> %d but is missing from Dirty",
+					cur.Seq, v, prevCores[v], curCores[v])
+			}
+		}
+		if changed != len(dirty) {
+			t.Fatalf("epoch %d: Dirty has %d nodes, %d actually changed", cur.Seq, len(dirty), changed)
+		}
 	}
 }
 

@@ -202,8 +202,10 @@ func TestKCoreLimitAndMemoizedPath(t *testing.T) {
 func TestUpdateRoundTripPerGraph(t *testing.T) {
 	ts, _ := newAPI(t, "second")
 
-	// Toggle an edge synchronously on the second graph; its epoch
-	// advances, the default graph's does not.
+	// A same-edge toggle nets to nothing: the opposing pair annihilates
+	// in the coalescer, so no epoch is published and the graph state is
+	// unchanged (edge (0,1) exists in the fixture, so the leading insert
+	// is rejected as a duplicate).
 	var upd struct {
 		Enqueued int    `json:"enqueued"`
 		Waited   bool   `json:"waited"`
@@ -212,19 +214,31 @@ func TestUpdateRoundTripPerGraph(t *testing.T) {
 	do(t, "POST", ts.URL+"/g/second/update?wait=1",
 		`{"updates":[{"op":"insert","u":0,"v":1},{"op":"delete","u":0,"v":1},{"op":"insert","u":0,"v":1}]}`,
 		http.StatusOK, &upd)
-	if upd.Enqueued != 3 || !upd.Waited || upd.Epoch == 0 {
-		t.Fatalf("update = %+v", upd)
+	if upd.Enqueued != 3 || !upd.Waited || upd.Epoch != 0 {
+		t.Fatalf("update = %+v, want all annihilated at epoch 0", upd)
+	}
+
+	// A net change on the second graph publishes a new epoch there; the
+	// default graph's does not move.
+	do(t, "POST", ts.URL+"/g/second/update?wait=1",
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, http.StatusOK, &upd)
+	if upd.Enqueued != 1 || !upd.Waited || upd.Epoch == 0 {
+		t.Fatalf("update = %+v, want epoch advanced", upd)
 	}
 
 	var st struct {
 		Serve struct {
-			Enqueued int64 `json:"enqueued"`
+			Enqueued    int64 `json:"enqueued"`
+			Annihilated int64 `json:"annihilated_updates"`
 		} `json:"serve"`
 		Epoch uint64 `json:"epoch"`
 	}
 	do(t, "GET", ts.URL+"/g/second/stats", "", http.StatusOK, &st)
-	if st.Serve.Enqueued != 3 {
-		t.Fatalf("second graph enqueued = %d, want 3", st.Serve.Enqueued)
+	if st.Serve.Enqueued != 4 {
+		t.Fatalf("second graph enqueued = %d, want 4", st.Serve.Enqueued)
+	}
+	if st.Serve.Annihilated != 2 {
+		t.Fatalf("second graph annihilated = %d, want 2", st.Serve.Annihilated)
 	}
 	do(t, "GET", ts.URL+"/g/default/stats", "", http.StatusOK, &st)
 	if st.Serve.Enqueued != 0 || st.Epoch != 0 {

@@ -86,6 +86,7 @@ func (s *Session) BatchInsert(edges []memgraph.Edge) (stats.RunStats, error) {
 		total.Iterations += rs.Iterations
 		total.NodeComputations += rs.NodeComputations
 		total.UpdatedPerIter = append(total.UpdatedPerIter, rs.UpdatedPerIter...)
+		total.Dirty = append(total.Dirty, rs.Dirty...)
 	}
 	total.Duration = time.Since(start)
 	return total, nil

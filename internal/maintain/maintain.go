@@ -26,6 +26,11 @@ type Session struct {
 	activeEpoch []uint32
 	status      []uint8
 	statusEpoch []uint32
+	// dirtyBuf collects speculative core raises during InsertStar; the
+	// survivors are copied into RunStats.Dirty at the end, so the churn
+	// of the (possibly large) candidate flood is amortised across
+	// operations instead of reallocated per call.
+	dirtyBuf []uint32
 	// Trace, when non-nil, observes each iteration of each operation.
 	Trace semicore.Trace
 }
@@ -182,6 +187,7 @@ func (s *Session) InsertTwoPhase(u, v uint32) (stats.RunStats, error) {
 			func(w uint32) bool { return s.active(w) && core[w] == cold },
 			func(w uint32, nbrs []uint32) error {
 				core[w] = cold + 1
+				rs.Dirty = append(rs.Dirty, w)
 				rs.NodeComputations++
 				computed = append(computed, w)
 				cnt[w] = s.St.ComputeCnt(nbrs, core[w])
@@ -251,6 +257,7 @@ func (s *Session) InsertTwoPhase(u, v uint32) (stats.RunStats, error) {
 func (s *Session) InsertStar(u, v uint32) (stats.RunStats, error) {
 	start := time.Now()
 	rs := s.beginOp("SemiInsert*")
+	s.dirtyBuf = s.dirtyBuf[:0]
 	u, _, cold, err := s.insertPrologue(u, v)
 	if err != nil {
 		return rs, err
@@ -295,6 +302,7 @@ func (s *Session) InsertStar(u, v uint32) (stats.RunStats, error) {
 					cnt[w] = s.computeCntStar(nbrs, cold)
 					s.setStat(w, statusRaised)
 					core[w] = cold + 1
+					s.dirtyBuf = append(s.dirtyBuf, w)
 					for _, x := range nbrs {
 						if core[x] == cold+1 && s.stat(x) != statusRaised {
 							cnt[x]++
@@ -344,6 +352,18 @@ func (s *Session) InsertStar(u, v uint32) (stats.RunStats, error) {
 			vmin, vmax = uint32(nextMin), uint32(nextMax)
 		}
 	}
+	// dirtyBuf holds every speculative raise; only the survivors (still
+	// at cold+1, i.e. ending √) actually changed — the reverted ones are
+	// back at cold. Reporting the exact set keeps Dirty O(changed) even
+	// when the candidate flood was large.
+	kept := 0
+	for _, w := range s.dirtyBuf {
+		if core[w] == cold+1 {
+			s.dirtyBuf[kept] = w
+			kept++
+		}
+	}
+	rs.Dirty = append([]uint32(nil), s.dirtyBuf[:kept]...)
 	rs.Duration = time.Since(start)
 	return rs, nil
 }

@@ -91,6 +91,7 @@ func (s *State) Converge(g graph.Source, vmin, vmax uint32, rs *stats.RunStats, 
 				s.Core[v] = nc
 				if nc != cold {
 					iterUpdated++
+					rs.Dirty = append(rs.Dirty, v)
 				}
 				s.Cnt[v] = computeCnt(nbrs, nc, s.Core)
 				s.UpdateNbrCnt(nbrs, cold, nc)
@@ -153,6 +154,9 @@ func SemiCoreStar(g graph.Source, opts *Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	// A full decomposition dirties everything by definition; drop the
+	// per-node list rather than hand callers an O(n) slice.
+	res.Stats.Dirty = nil
 	res.Stats.MemPeakBytes = mem.Peak()
 	res.Stats.Duration = time.Since(start)
 	return res, nil

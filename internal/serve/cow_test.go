@@ -1,0 +1,78 @@
+package serve_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/serve"
+)
+
+// largeGraphNodes sizes the production-scale fixture: large enough that
+// an O(n) per-publish cost is unmistakable next to an O(changed) one
+// (the core array alone is 400 KB), small enough to decompose in tens of
+// milliseconds.
+const largeGraphNodes = 100_000
+
+// measurePublishBytes opens the large fixture, publishes one epoch per
+// round by toggling distinct edges through synchronous single-update
+// flushes, and reports the mean heap bytes allocated per publish.
+func measurePublishBytes(t *testing.T, fullCopy bool) float64 {
+	t.Helper()
+	g, edges := openGraph(t, largeGraphNodes, 83)
+	sess, err := serve.New(g, &serve.Options{
+		FlushInterval:     time.Hour, // flushes are driven by Sync barriers only
+		FullCopySnapshots: fullCopy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	del := func(e kcore.Edge) {
+		if err := sess.Apply(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the steady state so one-time buffer growth (queue, pending
+	// slice, overlay maps) is not billed to the measured publishes.
+	for i := 0; i < 4; i++ {
+		del(edges[i])
+	}
+
+	const rounds = 32
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	for i := 0; i < rounds; i++ {
+		del(edges[100+i*3])
+	}
+	runtime.ReadMemStats(&ms)
+	perPublish := float64(ms.TotalAlloc-before) / rounds
+	st := sess.Stats()
+	t.Logf("fullCopy=%v: %.0f bytes/publish (epochs=%d, dirty/publish=%.1f, chunks copied %d of %d)",
+		fullCopy, perPublish, st.Epochs, st.DirtyNodesPerPublish(), st.CowChunksCopied, st.CowChunksTotal)
+	return perPublish
+}
+
+// TestPublishAllocatesOChunkNotON is the copy-on-write regression guard:
+// publishing an epoch after a single-edge batch on the 100k-node fixture
+// must allocate on the order of a few 16 KiB chunks, not the 400 KB+ an
+// O(n) copy-on-publish pays. The full-copy escape hatch is measured too,
+// proving the threshold actually separates the two paths.
+func TestPublishAllocatesOChunkNotON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node fixture")
+	}
+	// An O(n) publish allocates at least 4n bytes for the core array
+	// copy alone; O(chunk) publishes stay well under n bytes. The
+	// threshold sits between the two with a 4x margin each way.
+	const limit = largeGraphNodes // 100 KB, vs 400 KB+ for a full copy
+	if got := measurePublishBytes(t, false); got > limit {
+		t.Fatalf("copy-on-write publish allocates %.0f bytes, want <= %d (O(chunk) regression)", got, limit)
+	}
+	if got := measurePublishBytes(t, true); got <= limit {
+		t.Fatalf("full-copy baseline allocates %.0f bytes <= %d; threshold no longer discriminates", got, limit)
+	}
+}

@@ -44,7 +44,7 @@ func TestKCoreAtMatchesScan(t *testing.T) {
 			t.Fatalf("k=%d: KCoreAt has %d nodes, scan has %d", k, len(got), len(want))
 		}
 		for i := 1; i < len(got); i++ {
-			cp, cc := e.Core[got[i-1]], e.Core[got[i]]
+			cp, cc := e.CoreAt(got[i-1]), e.CoreAt(got[i])
 			if cp < cc || (cp == cc && got[i-1] >= got[i]) {
 				t.Fatalf("k=%d: order violated at %d: node %d (core %d) before node %d (core %d)",
 					k, i, got[i-1], cp, got[i], cc)
@@ -91,12 +91,11 @@ func TestMemoCountsHitsAndMisses(t *testing.T) {
 		t.Fatalf("hit rate = %.3f, want 19/20", r)
 	}
 
-	// A new epoch starts cold: its first query is a miss again.
+	// A new epoch starts cold: its first query is a miss again. (A
+	// delete+insert pair of one edge would annihilate in the coalescer
+	// and publish nothing, so delete only.)
 	ed := edges[0]
-	if err := sess.Apply(
-		serve.Update{Op: serve.OpDelete, U: ed.U, V: ed.V},
-		serve.Update{Op: serve.OpInsert, U: ed.U, V: ed.V},
-	); err != nil {
+	if err := sess.Apply(serve.Update{Op: serve.OpDelete, U: ed.U, V: ed.V}); err != nil {
 		t.Fatal(err)
 	}
 	e2 := sess.Snapshot()
@@ -146,5 +145,130 @@ func TestMemoConcurrentFirstAccess(t *testing.T) {
 	}
 	if st := sess.Stats(); st.CacheMisses != 1 {
 		t.Fatalf("concurrent first access: misses = %d, want 1", st.CacheMisses)
+	}
+}
+
+// checkMemoAgainstScan verifies an epoch's memoized answers against the
+// uncached paths: KCoreAt must set-match the O(n) KCore filter for every
+// k through Kmax+2, its result must be ordered core-descending (the only
+// order guarantee — repaired memos do not keep ties id-ascending), and
+// Profile must equal Sizes.
+func checkMemoAgainstScan(t *testing.T, e *serve.Epoch) {
+	t.Helper()
+	for k := uint32(0); k <= e.Kmax+2; k++ {
+		want := e.KCore(k)
+		got := e.KCoreAt(k)
+		if !sameNodeSet(want, got) {
+			t.Fatalf("epoch %d k=%d: KCoreAt has %d nodes, scan has %d", e.Seq, k, len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			if e.CoreAt(got[i-1]) < e.CoreAt(got[i]) {
+				t.Fatalf("epoch %d k=%d: order violated at %d: core %d before core %d",
+					e.Seq, k, i, e.CoreAt(got[i-1]), e.CoreAt(got[i]))
+			}
+		}
+	}
+	wantSizes, gotSizes := e.Sizes(), e.Profile()
+	if len(wantSizes) != len(gotSizes) {
+		t.Fatalf("epoch %d: Profile has %d entries, Sizes has %d", e.Seq, len(gotSizes), len(wantSizes))
+	}
+	for k := range wantSizes {
+		if wantSizes[k] != gotSizes[k] {
+			t.Fatalf("epoch %d: Profile[%d] = %d, want %d", e.Seq, k, gotSizes[k], wantSizes[k])
+		}
+	}
+}
+
+// TestMemoRepairMatchesRebuild publishes a run of single-edge epochs,
+// querying each one, so every memo after the first is derived by the
+// incremental bucket repair; each must agree exactly with the uncached
+// scans.
+func TestMemoRepairMatchesRebuild(t *testing.T) {
+	g, edges := openGraph(t, 400, 37)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := sess.Snapshot()
+	e.KCoreAt(0) // build epoch 0's memo from scratch
+	const steps = 8
+	for step := 0; step < steps; step++ {
+		ed := edges[step/2]
+		op := serve.OpDelete
+		if step%2 == 1 {
+			op = serve.OpInsert // restore what the previous step removed
+		}
+		if err := sess.Apply(serve.Update{Op: op, U: ed.U, V: ed.V}); err != nil {
+			t.Fatal(err)
+		}
+		e2 := sess.Snapshot()
+		if e2.Seq == e.Seq {
+			t.Fatalf("step %d: epoch did not advance", step)
+		}
+		checkMemoAgainstScan(t, e2)
+		if st := sess.Stats(); st.MemoRepairs != int64(step+1) {
+			t.Fatalf("step %d: memo repairs = %d, want %d", step, st.MemoRepairs, step+1)
+		}
+		e = e2
+	}
+}
+
+// TestMemoRepairChainsAcrossUnqueriedEpochs skips queries for several
+// published epochs and then queries: the memo must be repaired once from
+// the last built memo, replaying the chained dirty sets, not rebuilt.
+func TestMemoRepairChainsAcrossUnqueriedEpochs(t *testing.T) {
+	g, edges := openGraph(t, 300, 41)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sess.Snapshot().Profile() // build epoch 0's memo
+	for i := 0; i < 3; i++ {
+		ed := edges[i]
+		if err := sess.Apply(serve.Update{Op: serve.OpDelete, U: ed.U, V: ed.V}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := sess.Snapshot()
+	if e.Seq != 3 {
+		t.Fatalf("epoch = %d, want 3", e.Seq)
+	}
+	checkMemoAgainstScan(t, e)
+	st := sess.Stats()
+	if st.MemoRepairs != 1 {
+		t.Fatalf("memo repairs = %d, want 1", st.MemoRepairs)
+	}
+	if st.CacheMisses != 2 { // epoch 0's build + epoch 3's repair
+		t.Fatalf("cache misses = %d, want 2", st.CacheMisses)
+	}
+}
+
+// TestMemoRepairBuildsUnqueriedBase queries nothing before the first
+// mutation: repairing the new epoch must lazily full-build its base
+// (epoch 0) and still agree with the scans.
+func TestMemoRepairBuildsUnqueriedBase(t *testing.T) {
+	g, edges := openGraph(t, 300, 43)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	ed := edges[0]
+	if err := sess.Apply(serve.Update{Op: serve.OpDelete, U: ed.U, V: ed.V}); err != nil {
+		t.Fatal(err)
+	}
+	e := sess.Snapshot()
+	checkMemoAgainstScan(t, e)
+	st := sess.Stats()
+	if st.MemoRepairs != 1 {
+		t.Fatalf("memo repairs = %d, want 1", st.MemoRepairs)
+	}
+	if st.CacheMisses != 2 { // base built on demand + the repair itself
+		t.Fatalf("cache misses = %d, want 2", st.CacheMisses)
 	}
 }

@@ -4,9 +4,14 @@
 // readers load the current *Epoch with one atomic pointer read and query
 // it lock-free, never blocking and never observing a torn state. A single
 // writer goroutine owns the underlying kcore.Maintainer; it drains an
-// ingest queue, coalesces edge insert/delete events into same-kind runs
-// (flushed on a size or time threshold), applies each run through the
-// maintainer's batch operations, then swaps in a fresh epoch.
+// ingest queue, coalesces pending edge insert/delete events to their net
+// effect per edge (flushed on an adaptive size threshold or a time
+// threshold; opposing pairs annihilate pre-apply), applies the net ops
+// through the maintainer's batch operations, then swaps in a fresh epoch
+// derived copy-on-write from its predecessor: only snapshot chunks
+// holding changed core numbers are copied (O(changed) publication), and
+// the epoch's query memo is likewise repaired from the predecessor's
+// instead of rebuilt (memo.go).
 //
 // Consistency model: updates are applied in enqueue order, and every
 // published epoch reflects a consistent prefix of the applied updates —
@@ -68,12 +73,28 @@ type Epoch struct {
 	// including this epoch.
 	Applied uint64
 
+	// dirty is the exact delta against the predecessor epoch: the
+	// deduplicated set of nodes whose core number changed in this
+	// publication. nil for epoch 0 and full-copy publications.
+	dirty []uint32
+
+	// repair, when non-nil, is the plan for deriving this epoch's memo
+	// from a predecessor's instead of re-sorting; it is attached before
+	// publication and cleared once the memo is built (see memo.go).
+	repair atomic.Pointer[memoRepair]
+
 	// memo lazily caches derived query results; ctr (the owning
 	// session's counters, nil for detached epochs) receives the
 	// hit/miss accounting.
 	memo epochMemo
 	ctr  *stats.ServeCounters
 }
+
+// Dirty returns the nodes whose core number changed relative to the
+// previous published epoch — the exact delta, deduplicated. It is nil
+// for epoch 0 and for epochs published through the FullCopySnapshots
+// path. The slice is shared with the epoch and must not be mutated.
+func (e *Epoch) Dirty() []uint32 { return e.dirty }
 
 // Options tunes a ConcurrentSession. The zero value selects defaults.
 type Options struct {
@@ -89,6 +110,14 @@ type Options struct {
 	QueueCapacity int
 	// Counters receives serving metrics; nil allocates a private set.
 	Counters *stats.ServeCounters
+	// FullCopySnapshots forces every publication through the pre-COW
+	// path: a full O(n) core-array copy, degeneracy rescan and
+	// from-scratch memo per epoch, instead of copy-on-write chunk
+	// sharing and incremental memo repair. It exists to benchmark the
+	// delta path against its baseline (publish_path_speedup in
+	// BENCH_serve.json) and as a diagnostic escape hatch; leave it off
+	// in production.
+	FullCopySnapshots bool
 	// OnPublish, when non-nil, observes every published epoch from the
 	// writer goroutine (after the swap). Intended for tests.
 	OnPublish func(*Epoch)
@@ -133,6 +162,14 @@ type ConcurrentSession struct {
 	cur   atomic.Pointer[Epoch]
 	queue chan envelope
 
+	// Writer-owned dirty-set scratch: stamp[v] == stampGen marks v as
+	// already seen in the current publication, so dedupe is O(1) per
+	// node with no per-publish map; dirtyScratch holds the filtered set
+	// before it is copied into the (exact-size, immutable) epoch slice.
+	dirtyStamp   []uint32
+	stampGen     uint32
+	dirtyScratch []uint32
+
 	mu     sync.RWMutex // guards closed against concurrent sends
 	closed bool
 	wg     sync.WaitGroup
@@ -157,13 +194,14 @@ func New(g *kcore.Graph, opts *Options) (*ConcurrentSession, error) {
 		return nil, fmt.Errorf("serve: initial decomposition: %w", err)
 	}
 	s := &ConcurrentSession{
-		g:     g,
-		m:     m,
-		opts:  o,
-		ctr:   o.Counters,
-		queue: make(chan envelope, o.QueueCapacity),
+		g:          g,
+		m:          m,
+		opts:       o,
+		ctr:        o.Counters,
+		queue:      make(chan envelope, o.QueueCapacity),
+		dirtyStamp: make([]uint32, g.NumNodes()),
 	}
-	s.publish(m.Snapshot(), 0)
+	s.publish(m.Snapshot(), 0, nil, nil)
 	s.wg.Add(1)
 	go s.run()
 	return s, nil
@@ -260,14 +298,80 @@ func (s *ConcurrentSession) Close() error {
 	return nil
 }
 
+// publishDelta publishes the state after a flush. rawDirty is the
+// concatenation of the applied runs' RunInfo.Dirty sets (a sound
+// superset of the changed nodes, possibly with duplicates); it is
+// reduced here to the exact delta against the previous epoch, which
+// drives the copy-on-write snapshot, the memo repair plan and the dirty
+// counters — all O(changed). The FullCopySnapshots option routes through
+// the full-copy path instead.
+func (s *ConcurrentSession) publishDelta(appliedNow int, rawDirty []uint32) {
+	prev := s.cur.Load()
+	if prev == nil || s.opts.FullCopySnapshots {
+		snap := s.m.Snapshot()
+		if prev != nil {
+			s.ctr.NotePublishDelta(0, snap.NumChunks(), snap.NumChunks())
+		}
+		s.publish(snap, appliedNow, nil, nil)
+		return
+	}
+	cores := s.m.Cores()
+	s.stampGen++
+	if s.stampGen == 0 { // wrapped: do the rare O(n) clear
+		clear(s.dirtyStamp)
+		s.stampGen = 1
+	}
+	scratch := s.dirtyScratch[:0]
+	for _, v := range rawDirty {
+		if s.dirtyStamp[v] == s.stampGen {
+			continue
+		}
+		s.dirtyStamp[v] = s.stampGen
+		if prev.CoreAt(v) != cores[v] {
+			scratch = append(scratch, v)
+		}
+	}
+	s.dirtyScratch = scratch
+	dirty := append(make([]uint32, 0, len(scratch)), scratch...)
+	snap, copied := s.m.SnapshotDelta(prev.CoreSnapshot, dirty)
+	s.ctr.NotePublishDelta(len(dirty), copied, snap.NumChunks())
+	s.publish(snap, appliedNow, dirty, repairPlan(prev, dirty, snap.NumNodes()))
+}
+
+// repairPlan decides how the new epoch's memo should be built: repaired
+// from prev (when prev's memo is already built, or prev is itself a
+// clean full-build candidate), repaired from prev's own pending base
+// (chaining this publish's dirty set onto the unconsumed ones), or —
+// when the cumulative dirty count makes a repair no cheaper than a
+// counting sort — rebuilt from scratch (nil plan).
+func repairPlan(prev *Epoch, dirty []uint32, n uint32) *memoRepair {
+	limit := int(n)/memoRepairMaxFrac + 1
+	link := &dirtyChain{nodes: dirty}
+	if !prev.memo.built.Load() {
+		if pr := prev.repair.Load(); pr != nil {
+			total := pr.total + len(dirty)
+			if total > limit {
+				return nil
+			}
+			link.prev = pr.dirty
+			return &memoRepair{base: pr.base, dirty: link, total: total}
+		}
+	}
+	if len(dirty) > limit {
+		return nil
+	}
+	return &memoRepair{base: prev, dirty: link, total: len(dirty)}
+}
+
 // publish swaps in a fresh epoch built from snap.
-func (s *ConcurrentSession) publish(snap *kcore.CoreSnapshot, appliedNow int) {
+func (s *ConcurrentSession) publish(snap *kcore.CoreSnapshot, appliedNow int, dirty []uint32, rep *memoRepair) {
 	var seq, applied uint64
 	if prev := s.cur.Load(); prev != nil {
 		seq = prev.Seq + 1
 		applied = prev.Applied
 	}
-	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied + uint64(appliedNow), ctr: s.ctr}
+	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied + uint64(appliedNow), dirty: dirty, ctr: s.ctr}
+	e.repair.Store(rep)
 	s.cur.Store(e)
 	s.ctr.NotePublish(e.Seq, snap.TakenAt)
 	if s.opts.OnPublish != nil {

@@ -58,7 +58,7 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 		MaxBatch:      64,
 		FlushInterval: 500 * time.Microsecond,
 		OnPublish: func(e *serve.Epoch) {
-			history.Store(e.Seq, coreChecksum(e.Core))
+			history.Store(e.Seq, coreChecksum(e.Cores()))
 		},
 	})
 	if err != nil {
@@ -96,7 +96,7 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 					t.Errorf("reader %d: CoreOf = %d, %v (kmax %d)", r, v, err, snap.Kmax)
 					break
 				}
-				obs = append(obs, observation{snap.Seq, coreChecksum(snap.Core)})
+				obs = append(obs, observation{snap.Seq, coreChecksum(snap.Cores())})
 				if stop.Load() && i >= 100 {
 					break
 				}
@@ -106,7 +106,10 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 	}
 
 	// Writer: 6 rounds of (delete 100 edges, re-insert them) = 1200
-	// updates; the graph ends exactly where it started.
+	// updates; the graph ends exactly where it started. Each batch is
+	// synced before its opposite is enqueued, so no delete meets its
+	// re-insert inside one flush — every update truly applies (the
+	// annihilation path has its own tests).
 	r := rand.New(rand.NewSource(7))
 	perm := r.Perm(len(edges))
 	batch := make([]serve.Update, 0, 100)
@@ -117,13 +120,10 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 				e := edges[perm[i%len(perm)]]
 				batch = append(batch, serve.Update{Op: op, U: e.U, V: e.V})
 			}
-			if err := sess.Enqueue(batch...); err != nil {
+			if err := sess.Apply(batch...); err != nil {
 				t.Fatal(err)
 			}
 		}
-	}
-	if err := sess.Sync(); err != nil {
-		t.Fatal(err)
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -166,7 +166,7 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if coreChecksum(res.Core) != coreChecksum(final.Core) {
+	if coreChecksum(res.Core) != coreChecksum(final.Cores()) {
 		t.Fatal("final epoch diverges from fresh decomposition")
 	}
 }
@@ -243,8 +243,17 @@ func TestInvalidUpdatesAreRejectedNotFatal(t *testing.T) {
 	if st.Rejected != 4 {
 		t.Fatalf("rejected = %d, want 4", st.Rejected)
 	}
-	if st.Applied != 2 {
-		t.Fatalf("applied = %d, want 2", st.Applied)
+	// The valid delete + re-insert pair nets to nothing: the coalescer
+	// annihilates it before the maintenance algorithms ever run.
+	if st.Annihilated != 2 {
+		t.Fatalf("annihilated = %d, want 2", st.Annihilated)
+	}
+	if st.Applied != 0 {
+		t.Fatalf("applied = %d, want 0", st.Applied)
+	}
+	if present, err := g.HasEdge(e.U, e.V); err != nil || !present {
+		t.Fatalf("edge (%d,%d) present=%v err=%v after net-zero flush, want present",
+			e.U, e.V, present, err)
 	}
 	// Session still serves and accepts work.
 	if err := sess.Sync(); err != nil {
@@ -346,5 +355,106 @@ func TestCloseDrainsAndSealsSession(t *testing.T) {
 func TestOpString(t *testing.T) {
 	if fmt.Sprint(serve.OpInsert, serve.OpDelete) != "insert delete" {
 		t.Fatalf("Op strings = %q", fmt.Sprint(serve.OpInsert, serve.OpDelete))
+	}
+}
+
+// TestOddToggleRunNetsSingleOp checks the coalescer's net-effect math:
+// an odd-length alternating run on one edge applies exactly one op (the
+// first valid one) and annihilates the rest.
+func TestOddToggleRunNetsSingleOp(t *testing.T) {
+	g, edges := openGraph(t, 100, 15)
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e := edges[0]
+	before := sess.Snapshot()
+	if err := sess.Apply(
+		serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
+		serve.Update{Op: serve.OpInsert, U: e.U, V: e.V},
+		serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Applied != 1 || st.Annihilated != 2 || st.Rejected != 0 {
+		t.Fatalf("applied/annihilated/rejected = %d/%d/%d, want 1/2/0",
+			st.Applied, st.Annihilated, st.Rejected)
+	}
+	after := sess.Snapshot()
+	if after.Seq != before.Seq+1 {
+		t.Fatalf("epoch %d -> %d, want one publication", before.Seq, after.Seq)
+	}
+	if after.NumEdges != before.NumEdges-1 {
+		t.Fatalf("NumEdges = %d, want %d", after.NumEdges, before.NumEdges-1)
+	}
+	if present, err := g.HasEdge(e.U, e.V); err != nil || present {
+		t.Fatalf("edge present=%v err=%v, want deleted", present, err)
+	}
+}
+
+// TestAdaptiveBatchGrowsUnderPressure floods a tiny queue through a tiny
+// configured MaxBatch: the writer must grow its flush threshold (visible
+// as applied batches larger than MaxBatch) and decay back to the
+// configured size once the queue runs empty.
+func TestAdaptiveBatchGrowsUnderPressure(t *testing.T) {
+	g, _ := openGraph(t, 400, 19)
+	sess, err := serve.New(g, &serve.Options{
+		MaxBatch:      4,
+		QueueCapacity: 64,
+		FlushInterval: time.Hour, // size-driven flushes only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	var ups []serve.Update
+	err = g.VisitEdges(func(u, v uint32) error {
+		if len(ups) < 600 {
+			ups = append(ups, serve.Update{Op: serve.OpDelete, U: u, V: v})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) < 600 {
+		t.Fatalf("graph too small: %d edges", len(ups))
+	}
+	if err := sess.Apply(ups...); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Applied != 600 {
+		t.Fatalf("applied = %d, want 600", st.Applied)
+	}
+	if st.BatchEdgesMax <= 4 {
+		t.Fatalf("largest batch = %d edges; adaptive growth never exceeded MaxBatch", st.BatchEdgesMax)
+	}
+	if st.AdaptiveBatch < 4 {
+		t.Fatalf("adaptive batch gauge = %d, want >= MaxBatch", st.AdaptiveBatch)
+	}
+
+	// With the queue idle every flush sees an empty queue, so the
+	// threshold decays one halving per flush until it is back at the
+	// configured size.
+	u, v, err := absentEdge(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		op := serve.OpInsert
+		if i%2 == 1 {
+			op = serve.OpDelete
+		}
+		if err := sess.Apply(serve.Update{Op: op, U: u, V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess.Stats(); st.AdaptiveBatch != 4 {
+		t.Fatalf("adaptive batch gauge = %d after drain, want decay back to 4", st.AdaptiveBatch)
 	}
 }

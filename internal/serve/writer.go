@@ -7,13 +7,26 @@ import (
 	"kcore"
 )
 
+// adaptiveBatchMaxFactor caps how far the adaptive coalescer may grow the
+// flush threshold above Options.MaxBatch under queue pressure.
+const adaptiveBatchMaxFactor = 16
+
 // run is the writer goroutine: the sole mutator of the graph and the
 // maintainer. It drains the ingest queue, coalescing updates until either
-// MaxBatch are pending or FlushInterval has elapsed since the first
-// pending update, then applies and publishes them as one epoch.
+// the adaptive batch threshold is reached or FlushInterval has elapsed
+// since the first pending update, then applies and publishes them as one
+// epoch.
+//
+// The batch threshold adapts to queue pressure: when a flush leaves the
+// ingest queue more than half full the threshold doubles (up to
+// adaptiveBatchMaxFactor times Options.MaxBatch), so a backlog drains in
+// fewer, larger publishes; once the queue runs near empty it decays back
+// to the configured size, restoring low-latency small epochs.
 func (s *ConcurrentSession) run() {
 	defer s.wg.Done()
-	pending := make([]Update, 0, s.opts.MaxBatch)
+	maxBatch := s.opts.MaxBatch
+	s.ctr.SetAdaptiveBatch(maxBatch)
+	pending := make([]Update, 0, maxBatch)
 	// Go 1.23+ timer semantics: Stop/Reset discard any pending fire, so
 	// the channel must never be drained manually (a receive after Stop
 	// returns false would block forever).
@@ -24,6 +37,16 @@ func (s *ConcurrentSession) run() {
 	flush := func() {
 		s.flush(pending)
 		pending = pending[:0]
+		switch depth := len(s.queue); {
+		case depth > s.opts.QueueCapacity/2 && maxBatch < s.opts.MaxBatch*adaptiveBatchMaxFactor:
+			maxBatch *= 2
+			s.ctr.SetAdaptiveBatch(maxBatch)
+		// The empty-queue check keeps decay reachable when the
+		// configured capacity is tiny (capacity/8 rounds to 0).
+		case (depth == 0 || depth < s.opts.QueueCapacity/8) && maxBatch > s.opts.MaxBatch:
+			maxBatch /= 2
+			s.ctr.SetAdaptiveBatch(maxBatch)
+		}
 	}
 	for {
 		var env envelope
@@ -60,24 +83,42 @@ func (s *ConcurrentSession) run() {
 			continue
 		}
 		pending = append(pending, env.up)
-		if len(pending) >= s.opts.MaxBatch {
+		if len(pending) >= maxBatch {
 			flush()
 		}
 	}
 }
 
-// flush applies the pending updates as coalesced same-kind runs — each
-// run goes through one BatchInsert/BatchDelete — and publishes one new
-// epoch covering every applied run. Updates that are invalid at apply
-// time (out-of-range ids, self-loops, duplicate inserts, deletes of
-// absent edges) are rejected and counted, never failing the batch; a
-// maintenance error on a validated batch is fatal for the session.
+// edgeState tracks one edge while the pending updates are replayed at
+// flush time: its live presence as the valid ops toggle it, the first
+// valid op, and how many valid ops hit it (they strictly alternate, so
+// first+count determine the net effect).
+type edgeState struct {
+	present bool
+	first   Op
+	count   int
+}
+
+// flush coalesces the pending updates to their net effect per edge and
+// applies that as at most one delete batch plus one insert batch,
+// publishing one new epoch covering the whole flush.
 //
-// A maintenance error can leave a partially applied run in the internal
-// state; in that case the flush publishes nothing — the session is
-// fatally failed and the last published epoch (a whole-batch boundary
-// from an earlier flush) stays frozen, so the torn state is never
-// visible to readers.
+// Coalescing replays the updates in order against the live edge set:
+// updates that are invalid at their point in the sequence (out-of-range
+// ids, self-loops, duplicate inserts, deletes of absent edges) are
+// rejected and counted, never failing the batch. The surviving ops on
+// one edge strictly alternate insert/delete, so they cancel in pairs —
+// the cancelled pairs are counted as annihilated and never reach the
+// maintenance algorithms — and at most one net op per edge remains.
+// Distinct edges commute, so applying all net deletes then all net
+// inserts reaches exactly the state the original sequence would have;
+// readers only ever observe the post-flush epoch, never an intermediate
+// state, so the reordering is invisible.
+//
+// A maintenance error can leave a partially applied batch in the
+// internal state; in that case the flush publishes nothing — the session
+// is fatally failed and the last published epoch (a whole-flush boundary)
+// stays frozen, so the torn state is never visible to readers.
 func (s *ConcurrentSession) flush(pending []Update) {
 	if len(pending) == 0 {
 		return
@@ -86,43 +127,11 @@ func (s *ConcurrentSession) flush(pending []Update) {
 		s.ctr.NoteRejected(len(pending))
 		return
 	}
-	applied := 0
-	for lo := 0; lo < len(pending); {
-		hi := lo + 1
-		for hi < len(pending) && pending[hi].Op == pending[lo].Op {
-			hi++
-		}
-		n, rejected, err := s.applyRun(pending[lo].Op, pending[lo:hi])
-		if err != nil {
-			s.fail(err)
-			// The whole failed run is lost from the published state, as
-			// is everything queued after it; account for both so that
-			// enqueued = applied + rejected stays an invariant.
-			s.ctr.NoteRejected(hi - lo + len(pending) - hi)
-			return
-		}
-		s.ctr.NoteRejected(rejected)
-		applied += n
-		lo = hi
-	}
-	if applied > 0 {
-		s.publish(s.m.Snapshot(), applied)
-	}
-}
-
-// applyRun validates one same-kind run against the live graph, drops the
-// invalid updates, and applies the survivors as one batch, reporting how
-// many were applied and how many dropped. Validation happens against the
-// graph state left by the previous run, plus a run-local set so
-// duplicated edges within the run reject deterministically (an insert
-// makes a second insert of the same edge invalid; a delete makes a
-// second delete invalid). On error nothing is counted: the caller
-// accounts for the whole run.
-func (s *ConcurrentSession) applyRun(op Op, run []Update) (applied, rejected int, err error) {
 	n := s.g.NumNodes()
-	valid := make([]kcore.Edge, 0, len(run))
-	inRun := make(map[uint64]struct{}, len(run))
-	for _, up := range run {
+	rejected := 0
+	states := make(map[uint64]*edgeState, len(pending))
+	keys := make([]uint64, 0, len(pending))
+	for i, up := range pending {
 		u, v := up.U, up.V
 		if u > v {
 			u, v = v, u
@@ -132,32 +141,101 @@ func (s *ConcurrentSession) applyRun(op Op, run []Update) (applied, rejected int
 			continue
 		}
 		key := uint64(u)<<32 | uint64(v)
-		if _, dup := inRun[key]; dup {
+		st, ok := states[key]
+		if !ok {
+			present, err := s.g.HasEdge(u, v)
+			if err != nil {
+				s.fail(fmt.Errorf("serve: validate %s (%d,%d): %w", up.Op, u, v, err))
+				// Nothing from this flush reaches the published state:
+				// count the whole flush — already-rejected prefix, valid
+				// prefix, and the unreplayed tail — so that
+				// enqueued = applied + rejected + annihilated holds.
+				s.ctr.NoteRejected(rejected + validSoFar(states) + len(pending) - i)
+				return
+			}
+			st = &edgeState{present: present}
+			states[key] = st
+			keys = append(keys, key)
+		}
+		if (up.Op == OpInsert) == st.present {
 			rejected++
 			continue
 		}
-		present, err := s.g.HasEdge(u, v)
+		if st.count == 0 {
+			st.first = up.Op
+		}
+		st.count++
+		st.present = !st.present
+	}
+	var inserts, deletes []kcore.Edge
+	annihilated := 0
+	for _, key := range keys {
+		st := states[key]
+		annihilated += st.count - st.count%2
+		if st.count%2 == 0 {
+			continue
+		}
+		e := kcore.Edge{U: uint32(key >> 32), V: uint32(key)}
+		if st.first == OpInsert {
+			inserts = append(inserts, e)
+		} else {
+			deletes = append(deletes, e)
+		}
+	}
+	s.ctr.NoteRejected(rejected)
+	s.ctr.NoteAnnihilated(annihilated)
+
+	applied := 0
+	var dirty []uint32
+	apply := func(op Op, edges []kcore.Edge) error {
+		if len(edges) == 0 {
+			return nil
+		}
+		var info kcore.RunInfo
+		var err error
+		if op == OpInsert {
+			info, err = s.m.InsertEdges(edges)
+		} else {
+			info, err = s.m.DeleteEdges(edges)
+		}
 		if err != nil {
-			return 0, 0, fmt.Errorf("serve: validate %s (%d,%d): %w", op, u, v, err)
+			return fmt.Errorf("serve: apply %s batch of %d: %w", op, len(edges), err)
 		}
-		if (op == OpInsert) == present {
-			rejected++
-			continue
-		}
-		inRun[key] = struct{}{}
-		valid = append(valid, kcore.Edge{U: u, V: v})
+		s.ctr.NoteBatch(len(edges))
+		applied += len(edges)
+		dirty = append(dirty, info.Dirty...)
+		return nil
 	}
-	if len(valid) == 0 {
-		return 0, rejected, nil
+	// Deletes first: each edge carries at most one net op, so the two
+	// same-kind batches touch disjoint edges and commute.
+	if err := s.apply2(apply, deletes, inserts); err != nil {
+		s.fail(err)
+		// The failed batches are lost from the published state; account
+		// for them so enqueued = applied + rejected + annihilated stays
+		// an invariant across the failure.
+		s.ctr.NoteRejected(len(deletes) + len(inserts) - applied)
+		return
 	}
-	if op == OpInsert {
-		_, err = s.m.InsertEdges(valid)
-	} else {
-		_, err = s.m.DeleteEdges(valid)
+	if applied > 0 {
+		s.publishDelta(applied, dirty)
 	}
-	if err != nil {
-		return 0, 0, fmt.Errorf("serve: apply %s batch of %d: %w", op, len(valid), err)
+}
+
+// apply2 runs the delete batch then the insert batch, stopping at the
+// first error.
+func (s *ConcurrentSession) apply2(apply func(Op, []kcore.Edge) error, deletes, inserts []kcore.Edge) error {
+	if err := apply(OpDelete, deletes); err != nil {
+		return err
 	}
-	s.ctr.NoteBatch(len(valid))
-	return len(valid), rejected, nil
+	return apply(OpInsert, inserts)
+}
+
+// validSoFar counts the replayed updates that passed validation — the
+// ones a mid-replay failure strands without an applied/rejected verdict.
+func validSoFar(states map[uint64]*edgeState) int {
+	valid := 0
+	for _, st := range states {
+		valid += st.count
+	}
+	return valid
 }

@@ -26,6 +26,13 @@ type ServeCounters struct {
 
 	cacheHits   atomic.Int64 // memoized epoch queries answered from a computed memo
 	cacheMisses atomic.Int64 // memoized epoch queries that had to compute the memo
+
+	annihilated     atomic.Int64 // updates cancelled against an opposing update pre-apply
+	dirtyNodesSum   atomic.Int64 // total dirty (changed-core) nodes across publishes
+	cowChunksCopied atomic.Int64 // snapshot chunks copied by delta publishes
+	cowChunksTotal  atomic.Int64 // snapshot chunks a full copy would have written
+	memoRepairs     atomic.Int64 // epoch memos repaired from a predecessor instead of rebuilt
+	adaptiveBatch   atomic.Int64 // gauge: the writer's current adaptive MaxBatch
 }
 
 // NoteEnqueued records n updates accepted into the ingest queue.
@@ -65,6 +72,28 @@ func (c *ServeCounters) NoteCacheHit() { c.cacheHits.Add(1) }
 // one that pays the O(n) derivation the later hits reuse.
 func (c *ServeCounters) NoteCacheMiss() { c.cacheMisses.Add(1) }
 
+// NoteAnnihilated records n valid updates that cancelled against an
+// opposing update of the same edge in one coalesced flush, so neither
+// side was applied (the graph state is as if both had been).
+func (c *ServeCounters) NoteAnnihilated(n int) { c.annihilated.Add(int64(n)) }
+
+// NotePublishDelta records the shape of one copy-on-write publication:
+// dirty core numbers, snapshot chunks actually copied, and the chunk
+// count a full copy would have cost.
+func (c *ServeCounters) NotePublishDelta(dirty, copied, total int) {
+	c.dirtyNodesSum.Add(int64(dirty))
+	c.cowChunksCopied.Add(int64(copied))
+	c.cowChunksTotal.Add(int64(total))
+}
+
+// NoteMemoRepair records an epoch memo derived from a predecessor's by
+// moving only dirty nodes between buckets, instead of a full re-sort.
+func (c *ServeCounters) NoteMemoRepair() { c.memoRepairs.Add(1) }
+
+// SetAdaptiveBatch updates the adaptive coalescing gauge: the batch size
+// the writer currently flushes at.
+func (c *ServeCounters) SetAdaptiveBatch(n int) { c.adaptiveBatch.Store(int64(n)) }
+
 // Epoch reports the sequence number of the last published epoch.
 func (c *ServeCounters) Epoch() uint64 { return c.epoch.Load() }
 
@@ -82,6 +111,13 @@ func (c *ServeCounters) Snapshot(now time.Time) ServeSnapshot {
 		Epoch:         c.epoch.Load(),
 		CacheHits:     c.cacheHits.Load(),
 		CacheMisses:   c.cacheMisses.Load(),
+
+		Annihilated:     c.annihilated.Load(),
+		DirtyNodesSum:   c.dirtyNodesSum.Load(),
+		CowChunksCopied: c.cowChunksCopied.Load(),
+		CowChunksTotal:  c.cowChunksTotal.Load(),
+		MemoRepairs:     c.memoRepairs.Load(),
+		AdaptiveBatch:   c.adaptiveBatch.Load(),
 	}
 	if nanos := c.published.Load(); nanos != 0 {
 		s.EpochAge = now.Sub(time.Unix(0, nanos))
@@ -103,6 +139,13 @@ type ServeSnapshot struct {
 	EpochAge      time.Duration `json:"epoch_age_ns"`
 	CacheHits     int64         `json:"cache_hits"`
 	CacheMisses   int64         `json:"cache_misses"`
+
+	Annihilated     int64 `json:"annihilated_updates"`
+	DirtyNodesSum   int64 `json:"dirty_nodes_sum"`
+	CowChunksCopied int64 `json:"cow_chunks_copied"`
+	CowChunksTotal  int64 `json:"cow_chunks_total"`
+	MemoRepairs     int64 `json:"memo_repairs"`
+	AdaptiveBatch   int64 `json:"adaptive_max_batch"`
 }
 
 // CacheHitRate reports the fraction of memoized epoch queries served
@@ -121,4 +164,24 @@ func (s ServeSnapshot) MeanBatchEdges() float64 {
 		return 0
 	}
 	return float64(s.BatchEdgesSum) / float64(s.Batches)
+}
+
+// DirtyNodesPerPublish reports the average number of changed core
+// numbers per published epoch — the "changed" in the O(changed) publish
+// cost model; 0 before the first publication.
+func (s ServeSnapshot) DirtyNodesPerPublish() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.DirtyNodesSum) / float64(s.Epochs)
+}
+
+// CowShareRate reports the fraction of snapshot chunks shared with the
+// predecessor epoch instead of copied, in [0,1]; 0 when no delta
+// publishes happened.
+func (s ServeSnapshot) CowShareRate() float64 {
+	if s.CowChunksTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.CowChunksCopied)/float64(s.CowChunksTotal)
 }

@@ -181,9 +181,20 @@ type RunStats struct {
 	// UpdatedPerIter[i] is the number of nodes whose core number changed
 	// in iteration i (0-based). Drives Fig. 3.
 	UpdatedPerIter []int64
-	IO             IOSnapshot
-	MemPeakBytes   int64
-	Duration       time.Duration
+	// Dirty lists the nodes whose core number was written with a new
+	// value during the run — the affected region the maintenance
+	// algorithms (6-8) visit. It is a sound superset of the nodes whose
+	// core number differs from before the run: a node raised and then
+	// lowered back appears here even though its final value is
+	// unchanged, and a node touched in several iterations may appear
+	// more than once. Consumers that need an exact delta must dedupe
+	// and compare against the pre-run values (internal/serve does).
+	// Full decompositions leave it nil: there every node is implicitly
+	// dirty.
+	Dirty        []uint32
+	IO           IOSnapshot
+	MemPeakBytes int64
+	Duration     time.Duration
 }
 
 // TotalUpdates sums UpdatedPerIter.

@@ -34,7 +34,9 @@
 // while a single writer goroutine coalesces queued updates into batches
 // and applies them with the maintenance algorithms; every published
 // epoch reflects a consistent prefix of the applied updates. Snapshots
-// are cheap (one O(n) copy per publication) and immutable forever:
+// are chunked and copy-on-write — a publication copies only the chunks
+// holding changed core numbers (O(changed), see Maintainer.SnapshotDelta)
+// — and immutable forever:
 //
 //	snap := m.Snapshot()   // *CoreSnapshot: safe to share across goroutines
 //	k, _ := snap.CoreOf(7)
@@ -100,6 +102,14 @@ type RunInfo struct {
 	NodeComputations int64
 	// UpdatedPerIter is the per-iteration count of changed core numbers.
 	UpdatedPerIter []int64
+	// Dirty lists the nodes whose core number was rewritten during the
+	// run: a sound superset of the exact before/after delta (nodes
+	// raised then lowered back still appear, and a node may appear more
+	// than once). It is what makes O(changed) epoch publication
+	// possible — internal/serve copies only the snapshot chunks these
+	// nodes live in. Full decompositions report nil (everything is
+	// implicitly dirty).
+	Dirty []uint32
 	// IO is the block I/O performed by this run (delta, not cumulative).
 	IO IOStats
 	// MemPeakBytes is the algorithm's deterministic model memory peak.
@@ -114,6 +124,7 @@ func runInfoFrom(rs stats.RunStats, io IOStats) RunInfo {
 		Iterations:       rs.Iterations,
 		NodeComputations: rs.NodeComputations,
 		UpdatedPerIter:   append([]int64(nil), rs.UpdatedPerIter...),
+		Dirty:            append([]uint32(nil), rs.Dirty...),
 		IO:               io,
 		MemPeakBytes:     rs.MemPeakBytes,
 		Duration:         rs.Duration,

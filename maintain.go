@@ -150,17 +150,22 @@ func (m *Maintainer) DeleteEdges(edges []Edge) (RunInfo, error) {
 func (m *Maintainer) InsertEdges(edges []Edge) (RunInfo, error) {
 	if m.insert == SemiInsertTwoPhase {
 		var total RunInfo
+		total.Algorithm = "SemiInsert (batch)"
 		before := m.g.IOStats()
 		for _, e := range edges {
 			info, err := m.InsertEdge(e.U, e.V)
 			if err != nil {
+				// The applied prefix's reads and writes happened; the
+				// error return must carry them too, or they vanish
+				// from the stats.
+				total.IO = m.g.IOStats().Sub(before)
 				return total, err
 			}
 			total.Iterations += info.Iterations
 			total.NodeComputations += info.NodeComputations
+			total.Dirty = append(total.Dirty, info.Dirty...)
 			total.Duration += info.Duration
 		}
-		total.Algorithm = "SemiInsert (batch)"
 		total.IO = m.g.IOStats().Sub(before)
 		return total, nil
 	}

@@ -73,27 +73,79 @@ func DegeneracyOrder(core []uint32) []uint32 {
 }
 
 // NumNodes reports the number of nodes the snapshot covers.
-func (s *CoreSnapshot) NumNodes() uint32 { return uint32(len(s.Core)) }
+func (s *CoreSnapshot) NumNodes() uint32 { return s.n }
 
 // CoreOf reports the core number of v at snapshot time.
 func (s *CoreSnapshot) CoreOf(v uint32) (uint32, error) {
-	if v >= uint32(len(s.Core)) {
-		return 0, fmt.Errorf("kcore: node %d out of range [0,%d)", v, len(s.Core))
+	if v >= s.n {
+		return 0, fmt.Errorf("kcore: node %d out of range [0,%d)", v, s.n)
 	}
-	return s.Core[v], nil
+	return s.CoreAt(v), nil
 }
 
-// KCore returns the nodes of the k-core at snapshot time.
-func (s *CoreSnapshot) KCore(k uint32) []uint32 { return KCoreNodes(s.Core, k) }
+// CoreAt reports the core number of v at snapshot time without a bounds
+// check: one chunk-table indirection. v must be < NumNodes().
+func (s *CoreSnapshot) CoreAt(v uint32) uint32 {
+	return s.chunks[v>>SnapshotChunkShift][v&snapshotChunkMask]
+}
+
+// ForEachCore calls fn(v, core(v)) for every node in id order, walking
+// the chunks directly — the cheapest full read of a snapshot.
+func (s *CoreSnapshot) ForEachCore(fn func(v, c uint32)) {
+	v := uint32(0)
+	for _, ch := range s.chunks {
+		for _, c := range ch {
+			fn(v, c)
+			v++
+		}
+	}
+}
+
+// Cores materialises the full core array as a freshly allocated copy (an
+// O(n) flattening of the shared chunks). Use CoreAt/ForEachCore to read
+// without allocating.
+func (s *CoreSnapshot) Cores() []uint32 {
+	out := make([]uint32, 0, s.n)
+	for _, ch := range s.chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// NumChunks reports how many chunks the snapshot stores — the total a
+// delta publication's copied-chunk count is measured against.
+func (s *CoreSnapshot) NumChunks() int { return len(s.chunks) }
+
+// KCore returns the nodes of the k-core at snapshot time, in id order.
+func (s *CoreSnapshot) KCore(k uint32) []uint32 {
+	var out []uint32
+	s.ForEachCore(func(v, c uint32) {
+		if c >= k {
+			out = append(out, v)
+		}
+	})
+	return out
+}
 
 // Degeneracy reports kmax at snapshot time.
 func (s *CoreSnapshot) Degeneracy() uint32 { return s.Kmax }
 
-// Histogram returns counts[k] = number of nodes with core number k.
-func (s *CoreSnapshot) Histogram() []int64 { return CoreHistogram(s.Core) }
+// Histogram returns counts[k] = number of nodes with core number k. The
+// histogram is maintained incrementally across delta snapshots, so this
+// is an O(Kmax) copy, not an O(n) scan.
+func (s *CoreSnapshot) Histogram() []int64 { return append([]int64(nil), s.hist...) }
 
-// Sizes returns sizes[k] = |k-core| at snapshot time.
-func (s *CoreSnapshot) Sizes() []int64 { return CoreSizes(s.Core) }
+// Sizes returns sizes[k] = |k-core| at snapshot time (the cumulative view
+// of Histogram, likewise O(Kmax)).
+func (s *CoreSnapshot) Sizes() []int64 {
+	sizes := make([]int64, len(s.hist))
+	var cum int64
+	for k := len(s.hist) - 1; k >= 0; k-- {
+		cum += s.hist[k]
+		sizes[k] = cum
+	}
+	return sizes
+}
 
 // KCoreSubgraph extracts the edges of the k-core via one sequential scan
 // of the graph.
