@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet bench bench-serve profile clean
+.PHONY: all test race vet doc bench bench-serve profile clean
 
 all: test vet
 
@@ -17,6 +17,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: go vet plus the package-comment check — every
+# package (main and test-only packages included) must carry a godoc
+# package comment; see internal/doccheck for the policy.
+doc:
+	$(GO) vet ./...
+	$(GO) run ./internal/doccheck $$($(GO) list -f '{{.Dir}}' ./...)
 
 # One pass over every benchmark, mainly as a does-it-run smoke check.
 bench:

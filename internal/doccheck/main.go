@@ -1,0 +1,75 @@
+// Command doccheck enforces the repository's godoc hygiene: every
+// package (including main packages and test-only packages) must carry a
+// package-level doc comment, and non-main package comments must start
+// with the canonical "Package <name> " prefix so they render correctly
+// in godoc. It is run by `make doc` and CI over every package directory:
+//
+//	go run ./internal/doccheck $(go list -f '{{.Dir}}' ./...)
+//
+// Exit status is nonzero if any directory lacks a conforming comment;
+// offenders are listed one per line.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		if msg := check(dir); msg != "" {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %s\n", dir, msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d package(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check reports why dir fails the policy, or "" if it passes. A
+// directory passes when at least one of its files attaches a doc
+// comment to its package clause; for non-main packages that comment
+// must begin "Package <name> ". External test packages (<name>_test)
+// are ignored — their doc lives with the package under test — except
+// in test-only directories, where the in-package _test files carry it.
+func check(dir string) string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return fmt.Sprintf("parse: %v", err)
+	}
+	var names []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") && len(pkgs) > 1 {
+			continue // external test package alongside the real one
+		}
+		names = append(names, name)
+		for _, f := range pkg.Files {
+			if f.Doc == nil {
+				continue
+			}
+			if name == "main" || strings.HasPrefix(f.Doc.Text(), "Package "+name+" ") {
+				return ""
+			}
+		}
+	}
+	if len(names) == 0 {
+		return "" // no Go packages (or only ignorable ones)
+	}
+	return fmt.Sprintf("package %s has no package doc comment (want a %q comment on the package clause)",
+		strings.Join(names, ","), docWant(names[0]))
+}
+
+// docWant names the expected comment prefix for an offending package.
+func docWant(name string) string {
+	if name == "main" {
+		return "// Command ..."
+	}
+	return "// Package " + name + " ..."
+}

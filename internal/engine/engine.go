@@ -47,6 +47,14 @@ type Engine interface {
 // ConcurrentSession is the reference implementation.
 var _ Engine = (*serve.ConcurrentSession)(nil)
 
+// ShardStatser is the optional engine extension for per-writer
+// observability: sharded engines (internal/shard) expose their routing
+// and compose counters plus one ServeSnapshot per shard writer through
+// it. The HTTP layer surfaces it under /g/{name}/stats when present.
+type ShardStatser interface {
+	ShardStats() stats.ShardedSnapshot
+}
+
 var (
 	// ErrNotFound reports a graph name with no registered engine.
 	ErrNotFound = errors.New("engine: graph not found")

@@ -7,8 +7,13 @@ import (
 
 	"kcore"
 	"kcore/internal/serve"
+	"kcore/internal/shard"
 	"kcore/internal/stats"
 )
+
+// Sharded is the multi-writer engine; the registry builds one per graph
+// opened with shards >= 2.
+var _ Engine = (*shard.Sharded)(nil)
 
 // Options carries the shared defaults a Registry applies to every engine
 // it creates. The zero value selects the serve and open defaults.
@@ -22,13 +27,15 @@ type Options struct {
 }
 
 // entry is one registered graph: the engine, the backing graph handle
-// and whether the registry owns (and must close) that handle.
+// and whether the registry owns (and must close) that handle. Sharded
+// engines own their derived per-shard graphs themselves, so g is nil.
 type entry struct {
 	name      string
 	base      string // path prefix for opened graphs, "" for attached
 	eng       Engine
 	g         *kcore.Graph
 	ownsGraph bool
+	shards    int // 0 for a single-writer engine
 }
 
 // Registry owns a set of named engines sharing option defaults, so one
@@ -135,6 +142,48 @@ func (r *Registry) Open(name, base string) (Engine, error) {
 	return eng, nil
 }
 
+// OpenSharded opens the on-disk graph at path prefix base and registers
+// a sharded multi-writer engine for it under name: the graph's edges are
+// scattered across `shards` per-shard writers plus a cut session
+// (internal/shard), and queries are served from composite epochs merged
+// across them. shards < 2 falls back to a plain single-writer Open. The
+// per-shard graphs are derived state in a temporary work directory owned
+// by the engine; the base graph is only read during the scatter.
+func (r *Registry) OpenSharded(name, base string, shards int) (Engine, error) {
+	if shards < 2 {
+		return r.Open(name, base)
+	}
+	if err := r.reserve(name); err != nil {
+		return nil, err
+	}
+	g, err := kcore.Open(base, &r.opts.Open)
+	if err != nil {
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: open %q: %w", name, err)
+	}
+	so := r.opts.Serve
+	eng, err := shard.New(g, &shard.Options{
+		Shards:   shards,
+		Serve:    so,
+		Open:     r.opts.Open,
+		Counters: new(stats.ServeCounters),
+	})
+	if cerr := g.Close(); cerr != nil && err == nil {
+		eng.Close() //nolint:errcheck // base close error wins
+		err = cerr
+	}
+	if err != nil {
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: start sharded %q: %w", name, err)
+	}
+	e := &entry{name: name, base: base, eng: eng, shards: shards}
+	if !r.commit(name, e) {
+		e.shutdown() //nolint:errcheck // ErrClosed wins
+		return nil, ErrClosed
+	}
+	return eng, nil
+}
+
 // Attach registers a serving engine for an already-open graph under
 // name. The caller keeps ownership of g (it is not closed on Drop) but
 // must not touch it directly while the engine is registered — the
@@ -191,13 +240,14 @@ func (r *Registry) Names() []string {
 
 // GraphInfo summarises one registered graph for listings.
 type GraphInfo struct {
-	Name  string              `json:"name"`
-	Path  string              `json:"path,omitempty"`
-	Nodes uint32              `json:"nodes"`
-	Edges int64               `json:"edges"`
-	Kmax  uint32              `json:"kmax"`
-	Epoch uint64              `json:"epoch"`
-	Serve stats.ServeSnapshot `json:"serve"`
+	Name   string              `json:"name"`
+	Path   string              `json:"path,omitempty"`
+	Shards int                 `json:"shards,omitempty"`
+	Nodes  uint32              `json:"nodes"`
+	Edges  int64               `json:"edges"`
+	Kmax   uint32              `json:"kmax"`
+	Epoch  uint64              `json:"epoch"`
+	Serve  stats.ServeSnapshot `json:"serve"`
 }
 
 // List snapshots every registered graph, sorted by name. Each entry's
@@ -216,13 +266,14 @@ func (r *Registry) List() []GraphInfo {
 	for i, e := range entries {
 		snap := e.eng.Snapshot()
 		infos[i] = GraphInfo{
-			Name:  e.name,
-			Path:  e.base,
-			Nodes: snap.NumNodes(),
-			Edges: snap.NumEdges,
-			Kmax:  snap.Kmax,
-			Epoch: snap.Seq,
-			Serve: e.eng.Stats(),
+			Name:   e.name,
+			Path:   e.base,
+			Shards: e.shards,
+			Nodes:  snap.NumNodes(),
+			Edges:  snap.NumEdges,
+			Kmax:   snap.Kmax,
+			Epoch:  snap.Seq,
+			Serve:  e.eng.Stats(),
 		}
 	}
 	return infos
@@ -244,10 +295,11 @@ func (r *Registry) Drop(name string) error {
 }
 
 // shutdown drains the engine then releases the graph, keeping the first
-// error.
+// error. Sharded entries hold no graph handle (the engine owns its
+// derived per-shard graphs and releases them itself).
 func (e *entry) shutdown() error {
 	err := e.eng.Close()
-	if e.ownsGraph {
+	if e.ownsGraph && e.g != nil {
 		if cerr := e.g.Close(); err == nil {
 			err = cerr
 		}

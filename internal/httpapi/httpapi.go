@@ -7,12 +7,12 @@
 //
 //	GET    /healthz                     liveness + per-graph epochs
 //	GET    /graphs                      list registered graphs
-//	POST   /graphs                      open a graph: {"name":..,"path":..}
+//	POST   /graphs                      open a graph: {"name":..,"path":..,"shards":N}
 //	DELETE /graphs/{name}               drain and drop a graph
 //	GET    /g/{name}/core?v=7           core number of node 7
 //	GET    /g/{name}/kcore?k=3&limit=9  k-core members (memoized per epoch)
 //	GET    /g/{name}/degeneracy         kmax and k-core size profile
-//	GET    /g/{name}/stats              serving + I/O counters
+//	GET    /g/{name}/stats              serving + I/O counters (+ per-shard block when sharded)
 //	POST   /g/{name}/update[?wait=1]    {"updates":[{"op":"insert","u":1,"v":2},..]}
 //
 // The single-graph routes from before the registry existed (/core,
@@ -138,10 +138,13 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// createGraphRequest is the body of POST /graphs.
+// createGraphRequest is the body of POST /graphs. Shards >= 2 opens the
+// graph behind a sharded multi-writer engine (internal/shard); 0 or 1
+// selects the plain single-writer engine.
 type createGraphRequest struct {
-	Name string `json:"name"`
-	Path string `json:"path"`
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +157,11 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "name and path are required")
 		return
 	}
-	eng, err := s.reg.Open(req.Name, req.Path)
+	if req.Shards < 0 {
+		httpError(w, http.StatusBadRequest, "shards must be >= 0, got %d", req.Shards)
+		return
+	}
+	eng, err := s.reg.OpenSharded(req.Name, req.Path, req.Shards)
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrExists):
@@ -169,13 +176,17 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := eng.Snapshot()
-	writeJSON(w, http.StatusCreated, map[string]any{
+	resp := map[string]any{
 		"name":  req.Name,
 		"nodes": snap.NumNodes(),
 		"edges": snap.NumEdges,
 		"kmax":  snap.Kmax,
 		"epoch": snap.Seq,
-	})
+	}
+	if req.Shards >= 2 {
+		resp["shards"] = req.Shards
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleDropGraph(w http.ResponseWriter, r *http.Request) {
@@ -249,14 +260,22 @@ func handleDegeneracy(eng engine.Engine, w http.ResponseWriter, r *http.Request)
 
 func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 	snap := eng.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"serve":   eng.Stats(),
 		"io":      eng.IOStats(),
 		"epoch":   snap.Seq,
 		"applied": snap.Applied,
 		"nodes":   snap.NumNodes(),
 		"edges":   snap.NumEdges,
-	})
+	}
+	// Sharded engines additionally expose routing/compose counters, the
+	// cross-shard edge ratio, and one counter block per shard writer.
+	if ss, ok := eng.(engine.ShardStatser); ok {
+		shardStats := ss.ShardStats()
+		resp["shards"] = shardStats
+		resp["cross_shard_edge_ratio"] = shardStats.Routing.CrossShardEdgeRatio()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // updateRequest is the body of POST /update.

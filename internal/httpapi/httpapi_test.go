@@ -385,3 +385,80 @@ func TestTwoGraphsServeConcurrently(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedGraphOverHTTP creates a sharded graph through the admin
+// API and checks the sharded surfaces: creation echoes the shard count,
+// /stats gains the per-shard block and cross-shard edge ratio, queries
+// and synchronous updates behave exactly like a single-writer graph,
+// and a bad shard count is rejected.
+func TestShardedGraphOverHTTP(t *testing.T) {
+	ts, _ := newAPI(t)
+	base := writeGraph(t, 130, 77)
+
+	var created struct {
+		Name   string `json:"name"`
+		Shards int    `json:"shards"`
+		Nodes  uint32 `json:"nodes"`
+		Edges  int64  `json:"edges"`
+	}
+	do(t, "POST", ts.URL+"/graphs",
+		fmt.Sprintf(`{"name":"sh","path":%q,"shards":4}`, base),
+		http.StatusCreated, &created)
+	if created.Shards != 4 || created.Nodes != 130 {
+		t.Fatalf("created = %+v, want shards=4 nodes=130", created)
+	}
+
+	var bad map[string]any
+	do(t, "POST", ts.URL+"/graphs",
+		fmt.Sprintf(`{"name":"neg","path":%q,"shards":-1}`, base),
+		http.StatusBadRequest, &bad)
+
+	// Synchronous update + query round trip through the sharded engine.
+	var upd struct {
+		Enqueued int    `json:"enqueued"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	do(t, "POST", ts.URL+"/g/sh/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":129}]}`, http.StatusOK, &upd)
+	if upd.Enqueued != 1 {
+		t.Fatalf("enqueued = %d, want 1", upd.Enqueued)
+	}
+	var core struct {
+		Core  uint32 `json:"core"`
+		Epoch uint64 `json:"epoch"`
+	}
+	do(t, "GET", ts.URL+"/g/sh/core?v=0", "", http.StatusOK, &core)
+
+	var st struct {
+		Edges  int64 `json:"edges"`
+		Shards *struct {
+			Routing struct {
+				Composes int64 `json:"composes"`
+			} `json:"routing"`
+			Shards []json.RawMessage `json:"shards"`
+		} `json:"shards"`
+		CrossRatio *float64 `json:"cross_shard_edge_ratio"`
+	}
+	do(t, "GET", ts.URL+"/g/sh/stats", "", http.StatusOK, &st)
+	if st.Shards == nil || st.CrossRatio == nil {
+		t.Fatalf("sharded /stats missing shard block: %+v", st)
+	}
+	if got := len(st.Shards.Shards); got != 5 { // 4 shards + cut session
+		t.Fatalf("/stats reports %d shard writers, want 5", got)
+	}
+	if st.Shards.Routing.Composes == 0 {
+		t.Fatal("/stats reports zero composes after a waited update")
+	}
+
+	// The plain default graph's /stats must not grow a shard block.
+	var plain struct {
+		Shards *json.RawMessage `json:"shards"`
+	}
+	do(t, "GET", ts.URL+"/g/default/stats", "", http.StatusOK, &plain)
+	if plain.Shards != nil {
+		t.Fatal("single-writer /stats unexpectedly has a shards block")
+	}
+
+	var dropped map[string]any
+	do(t, "DELETE", ts.URL+"/graphs/sh", "", http.StatusOK, &dropped)
+}

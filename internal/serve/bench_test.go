@@ -3,7 +3,6 @@ package serve_test
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -18,32 +17,34 @@ import (
 	"kcore/internal/graphio"
 	"kcore/internal/memgraph"
 	"kcore/internal/serve"
+	"kcore/internal/shard"
 )
 
 // benchGraphNodes sizes the benchmark fixture: large enough that a
 // snapshot copy is not free, small enough to decompose instantly.
 const benchGraphNodes = 2000
 
-// startToggler runs a background load generator that continuously
-// deletes and re-inserts existing edges through the ingest queue,
-// keeping the writer goroutine busy publishing epochs. Returns a stop
-// function that waits for the toggler to exit.
+// startToggler runs a background load generator that keeps the writer
+// goroutine busy with real maintenance work: it walks the edge list in
+// passes, a whole delete pass then a whole insert pass, so consecutive
+// updates always hit distinct edges and opposing ops on one edge are a
+// full pass apart — they never meet inside one coalesced flush, where
+// the coalescer would annihilate them pre-apply and leave the writer
+// idle. Returns a stop function that waits for the toggler to exit.
 func startToggler(b *testing.B, sess *serve.ConcurrentSession, edges []kcore.Edge) func() {
 	b.Helper()
 	var stop atomic.Bool
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		r := rand.New(rand.NewSource(99))
-		batch := make([]serve.Update, 0, 64)
-		for !stop.Load() {
-			e := edges[r.Intn(len(edges))]
-			for _, op := range []serve.Op{serve.OpDelete, serve.OpInsert} {
-				batch = batch[:0]
-				batch = append(batch, serve.Update{Op: op, U: e.U, V: e.V})
-				if err := sess.Enqueue(batch...); err != nil {
-					return // session closed under us: benchmark is done
-				}
+		for i := 0; !stop.Load(); i++ {
+			e := edges[i%len(edges)]
+			op := serve.OpDelete
+			if (i/len(edges))%2 == 1 {
+				op = serve.OpInsert
+			}
+			if err := sess.Enqueue(serve.Update{Op: op, U: e.U, V: e.V}); err != nil {
+				return // session closed under us: benchmark is done
 			}
 		}
 	}()
@@ -112,8 +113,15 @@ func BenchmarkServeReadThroughput(b *testing.B) {
 }
 
 // benchMixed measures a mixed workload: each worker interleaves 15
-// snapshot reads with one asynchronous edge toggle (delete+insert pair
-// on a worker-owned edge, so updates never conflict).
+// snapshot reads with one asynchronous edge update on a worker-owned
+// edge. Updates alternate a whole delete pass with a whole insert pass
+// over the worker's slice, so every update is valid, consecutive
+// updates hit distinct edges, and opposing ops on one edge are a full
+// pass apart — none of them annihilate in the coalescer, and the number
+// measures actual maintenance work. (The pre-PR-4 form enqueued
+// delete+insert pairs of one edge back to back; once the coalescer
+// learned to annihilate opposing pairs, that fixture measured
+// coalescing plus reads instead of the algorithms.)
 func benchMixed(b *testing.B, workers int) {
 	g, edges := openGraph(b, benchGraphNodes, 23)
 	sess, err := serve.New(g, nil)
@@ -136,13 +144,16 @@ func benchMixed(b *testing.B, workers int) {
 			// Worker-owned slice of the edge list: no cross-worker dup rejects.
 			own := edges[w*len(edges)/workers : (w+1)*len(edges)/workers]
 			v := uint32(w)
+			upd := 0
 			for i := 0; i < n; i++ {
 				if i%16 == 15 && len(own) > 0 {
-					e := own[i%len(own)]
-					if err := sess.Enqueue(
-						serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
-						serve.Update{Op: serve.OpInsert, U: e.U, V: e.V},
-					); err != nil {
+					e := own[upd%len(own)]
+					op := serve.OpDelete
+					if (upd/len(own))%2 == 1 {
+						op = serve.OpInsert
+					}
+					upd++
+					if err := sess.Enqueue(serve.Update{Op: op, U: e.U, V: e.V}); err != nil {
 						b.Errorf("enqueue: %v", err)
 						return
 					}
@@ -314,6 +325,144 @@ func BenchmarkServeLargeMixedWorkload(b *testing.B) {
 	b.Run("publish=fullcopy", func(b *testing.B) { benchLargeMixed(b, true) })
 }
 
+// shardedBenchBlocks is the block count of the sharded benchmark
+// fixture: 8 independent RMAT subgraphs on contiguous id ranges, so
+// every shard count that divides 8 keeps each block whole under a range
+// partition (zero cut edges — the best-case partition the sharded
+// engine's gather merge is built for). The fixture is the scaling
+// ceiling: every update stream is shard-local, so aggregate writer
+// throughput is bounded only by cores and the compose barrier.
+const (
+	shardedBenchBlocks     = 8
+	shardedBenchBlockScale = 14 // 2^14 nodes per block, 2^17 total
+)
+
+// shardedBenchFixture caches the generated block-diagonal edge list.
+var shardedBenchFixture struct {
+	once   sync.Once
+	csr    *memgraph.CSR
+	blocks [][]kcore.Edge // per-block edge lists (block = id range)
+}
+
+// openShardedLargeGraph opens the block-diagonal ≥100k-node fixture and
+// returns the handle, the per-block edge lists, and the node count.
+func openShardedLargeGraph(tb testing.TB) (*kcore.Graph, [][]kcore.Edge, uint32) {
+	tb.Helper()
+	shardedBenchFixture.once.Do(func() {
+		blockNodes := uint32(1) << shardedBenchBlockScale
+		var all []kcore.Edge
+		blocks := make([][]kcore.Edge, shardedBenchBlocks)
+		for bl := 0; bl < shardedBenchBlocks; bl++ {
+			off := uint32(bl) * blockNodes
+			for _, e := range gen.RMAT(shardedBenchBlockScale, 8, 0.57, 0.19, 0.19, int64(83+bl)) {
+				edge := kcore.Edge{U: e.U + off, V: e.V + off}
+				blocks[bl] = append(blocks[bl], edge)
+				all = append(all, edge)
+			}
+		}
+		csr, err := memgraph.FromEdges(blockNodes*shardedBenchBlocks, all)
+		if err != nil {
+			panic(err)
+		}
+		shardedBenchFixture.csr, shardedBenchFixture.blocks = csr, blocks
+	})
+	csr := shardedBenchFixture.csr
+	base := filepath.Join(tb.TempDir(), "sharded-large")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		tb.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { g.Close() })
+	return g, shardedBenchFixture.blocks, csr.NumNodes()
+}
+
+// benchLargeSharded measures the sharded engine on the block-diagonal
+// fixture: 8 workers (one per block) each interleave 15 lock-free
+// composite-snapshot reads with one asynchronous edge deletion routed to
+// the worker's own shard, and a final Sync (one compose barrier) drains
+// every writer before the clock stops. All update streams are
+// shard-local, so N shard writers flood in parallel; the ops/s column
+// is the aggregate mixed throughput and the updates/s extra metric is
+// the aggregate writer (maintenance) throughput the shards=1/2/4/8 grid
+// compares. On a single-core box the grid is flat — the entries record
+// the machinery's overhead there and the scaling headroom on real
+// hardware.
+func benchLargeSharded(b *testing.B, shards int) {
+	g, blocks, nodes := openShardedLargeGraph(b)
+	sh, err := shard.New(g, &shard.Options{
+		Shards:    shards,
+		Partition: shard.RangePartition(nodes),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sh.Close()
+
+	const workers = shardedBenchBlocks
+	start := time.Now()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % workers
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			own := blocks[w]
+			next := 0
+			v := uint32(w)
+			for i := 0; i < n; i++ {
+				if i%16 == 15 && next < len(own) {
+					e := own[next]
+					next++
+					if err := sh.Enqueue(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+						b.Errorf("enqueue: %v", err)
+						return
+					}
+					continue
+				}
+				snap := sh.Snapshot()
+				if _, err := snap.CoreOf(v % snap.NumNodes()); err != nil {
+					b.Error(err)
+					return
+				}
+				v += 13
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	if err := sh.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	st := sh.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	if elapsed > 0 {
+		b.ReportMetric(float64(st.Applied)/elapsed.Seconds(), "updates/s")
+	}
+	if ratio := sh.ShardStats().Routing.CrossShardEdgeRatio(); ratio != 0 {
+		b.Fatalf("sharded fixture is not cut-free: cross-shard edge ratio %v", ratio)
+	}
+}
+
+// BenchmarkServeLargeShardedWorkload runs the sharded mixed workload
+// across the shard-count grid; shards=1 is the single-writer baseline
+// behind the same routing and compose machinery.
+func BenchmarkServeLargeShardedWorkload(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchLargeSharded(b, shards)
+		})
+	}
+}
+
 // writeBenchGraph materialises a graph fixture on disk for registry
 // benchmarks and returns its path prefix and edge list.
 func writeBenchGraph(tb testing.TB, n uint32, seed int64) (string, []kcore.Edge) {
@@ -368,13 +517,18 @@ func benchMultiGraphMixed(b *testing.B, graphs int) {
 			slot, slots := w/graphs, (workers+graphs-1)/graphs
 			own := edges[slot*len(edges)/slots : (slot+1)*len(edges)/slots]
 			v := uint32(w)
+			upd := 0
 			for i := 0; i < n; i++ {
 				if i%16 == 15 && len(own) > 0 {
-					e := own[i%len(own)]
-					if err := eng.Enqueue(
-						serve.Update{Op: serve.OpDelete, U: e.U, V: e.V},
-						serve.Update{Op: serve.OpInsert, U: e.U, V: e.V},
-					); err != nil {
+					// Pass-alternating updates, as benchMixed: no
+					// coalescer annihilation, real maintenance work.
+					e := own[upd%len(own)]
+					op := serve.OpDelete
+					if (upd/len(own))%2 == 1 {
+						op = serve.OpInsert
+					}
+					upd++
+					if err := eng.Enqueue(serve.Update{Op: op, U: e.U, V: e.V}); err != nil {
 						b.Errorf("enqueue: %v", err)
 						return
 					}
@@ -419,12 +573,13 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		t.Skip("set KCORE_BENCH_JSON=<path> to emit the serve benchmark artifact")
 	}
 	type entry struct {
-		Name      string  `json:"name"`
-		Readers   int     `json:"readers"`
-		Writer    string  `json:"writer"`
-		N         int     `json:"n"`
-		NsPerOp   float64 `json:"ns_per_op"`
-		OpsPerSec float64 `json:"ops_per_sec"`
+		Name      string             `json:"name"`
+		Readers   int                `json:"readers"`
+		Writer    string             `json:"writer"`
+		N         int                `json:"n"`
+		NsPerOp   float64            `json:"ns_per_op"`
+		OpsPerSec float64            `json:"ops_per_sec"`
+		Extra     map[string]float64 `json:"extra,omitempty"`
 	}
 	var entries []entry
 	record := func(name string, readers int, writer string, run func(b *testing.B)) entry {
@@ -433,6 +588,12 @@ func TestEmitServeBenchJSON(t *testing.T) {
 			NsPerOp: float64(res.NsPerOp())}
 		if res.T > 0 {
 			e.OpsPerSec = float64(res.N) / res.T.Seconds()
+		}
+		if len(res.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				e.Extra[k] = v
+			}
 		}
 		entries = append(entries, e)
 		t.Logf("%s: %.0f ops/s (%.0f ns/op, n=%d)", name, e.OpsPerSec, e.NsPerOp, e.N)
@@ -486,16 +647,35 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		publishSpeedup = full.NsPerOp / cow.NsPerOp
 	}
 	t.Logf("publish-path speedup (cow vs full copy): %.1fx", publishSpeedup)
+	// Sharded mixed workload on the block-diagonal fixture: aggregate
+	// throughput as the writer count grows (ops/s for the mixed loop,
+	// updates/s in extra for the writer-side maintenance rate). The
+	// scaling figure compares shards=4 against shards=1; on a
+	// single-core runner it hovers near 1 and records overhead instead.
+	shardedUpdates := make(map[int]float64)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		e := record(fmt.Sprintf("ServeLargeShardedWorkload/shards=%d", shards),
+			shardedBenchBlocks, "mixed", func(b *testing.B) { benchLargeSharded(b, shards) })
+		shardedUpdates[shards] = e.Extra["updates/s"]
+	}
+	shardScaling := 0.0
+	if shardedUpdates[1] > 0 {
+		shardScaling = shardedUpdates[4] / shardedUpdates[1]
+	}
+	t.Logf("sharded writer scaling (4 vs 1 shards): %.2fx on GOMAXPROCS=%d",
+		shardScaling, runtime.GOMAXPROCS(0))
 	doc := map[string]any{
-		"benchmark":            "serve",
-		"go":                   runtime.Version(),
-		"gomaxprocs":           runtime.GOMAXPROCS(0),
-		"graph_nodes":          benchGraphNodes,
-		"large_graph_nodes":    largeBenchFixture.csr.NumNodes(),
-		"generated_at":         time.Now().UTC().Format(time.RFC3339),
-		"kcore_cache_speedup":  speedup,
-		"publish_path_speedup": publishSpeedup,
-		"results":              entries,
+		"benchmark":                 "serve",
+		"go":                        runtime.Version(),
+		"gomaxprocs":                runtime.GOMAXPROCS(0),
+		"graph_nodes":               benchGraphNodes,
+		"large_graph_nodes":         largeBenchFixture.csr.NumNodes(),
+		"generated_at":              time.Now().UTC().Format(time.RFC3339),
+		"kcore_cache_speedup":       speedup,
+		"publish_path_speedup":      publishSpeedup,
+		"sharded_writer_scaling_4x": shardScaling,
+		"results":                   entries,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

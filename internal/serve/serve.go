@@ -363,6 +363,24 @@ func repairPlan(prev *Epoch, dirty []uint32, n uint32) *memoRepair {
 	return &memoRepair{base: prev, dirty: link, total: len(dirty)}
 }
 
+// ComposeEpoch builds a detached epoch around an externally assembled
+// snapshot, for composite engines (internal/shard) that publish epochs
+// merged from several underlying sessions. The epoch carries the full
+// per-epoch memo machinery: when prev is a compatible predecessor (same
+// node count) and dirty is a sound superset of the nodes whose core
+// number changed since prev, the memo is repaired incrementally from
+// prev's exactly as the writer path does; otherwise the first memoized
+// query pays one counting sort. Unlike writer-published epochs, the
+// recorded dirty set may be a superset of the exact delta. ctr (may be
+// nil) receives the epoch's cache hit/miss accounting.
+func ComposeEpoch(prev *Epoch, snap *kcore.CoreSnapshot, seq, applied uint64, dirty []uint32, ctr *stats.ServeCounters) *Epoch {
+	e := &Epoch{CoreSnapshot: snap, Seq: seq, Applied: applied, dirty: dirty, ctr: ctr}
+	if prev != nil && dirty != nil && prev.NumNodes() == snap.NumNodes() {
+		e.repair.Store(repairPlan(prev, dirty, snap.NumNodes()))
+	}
+	return e
+}
+
 // publish swaps in a fresh epoch built from snap.
 func (s *ConcurrentSession) publish(snap *kcore.CoreSnapshot, appliedNow int, dirty []uint32, rep *memoRepair) {
 	var seq, applied uint64

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"kcore"
+	"kcore/internal/imcore"
+	"kcore/internal/memgraph"
+	"kcore/internal/serve"
+)
+
+// syncSessions runs the read-your-writes barrier on every session in
+// parallel, returning the first error (a writer's fatal maintenance
+// failure surfaces here).
+func (s *Sharded) syncSessions() error {
+	errs := make([]error, len(s.sessions))
+	var wg sync.WaitGroup
+	for i, sess := range s.sessions {
+		wg.Add(1)
+		go func(i int, sess *serve.ConcurrentSession) {
+			defer wg.Done()
+			errs[i] = sess.Sync()
+		}(i, sess)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// composeLocked assembles and publishes one composite epoch. The caller
+// holds mu exclusively, so no routing is in flight: after the per-session
+// barriers, every update ever routed has been applied and published by
+// its writer, the per-session graphs are quiescent, and the N+1 session
+// epochs together describe one consistent global graph (their subgraphs
+// are pairwise edge-disjoint by the owner rule).
+//
+// Merge regimes (see the package comment for the exactness argument):
+// with no cut edges the composite cores are gathered from the per-shard
+// locals — incrementally (O(changed)) when every session reported its
+// dirty sets since the last compose and the previous compose was itself
+// a gather, O(n) otherwise; with cut edges present the quiescent graphs
+// are scanned into one CSR and peeled globally (O(n+m), exact for any
+// cut ratio). Either way the snapshot is built copy-on-write against the
+// previous composite epoch when a sound dirty set is in hand, and the
+// epoch's memo repairs from its predecessor's exactly as single-session
+// epochs do.
+func (s *Sharded) composeLocked() error {
+	routed := s.routed.Load()
+	if err := s.syncSessions(); err != nil {
+		return err
+	}
+	if s.scratchEpochs == nil {
+		s.scratchEpochs = make([]*serve.Epoch, len(s.sessions))
+	}
+	epochs := s.scratchEpochs
+	var totalEdges, applied int64
+	for i, sess := range s.sessions {
+		epochs[i] = sess.Snapshot()
+		totalEdges += epochs[i].NumEdges
+		applied += int64(epochs[i].Applied)
+	}
+	cutEdges := epochs[s.nshards].NumEdges
+
+	// Drain the per-session dirty accumulators (their writers are idle
+	// behind the barrier, but OnPublish appends under acc.mu, so take it).
+	dirty := s.scratchDirty[:0]
+	dirtyKnown := true
+	for i := range s.acc {
+		a := &s.acc[i]
+		a.mu.Lock()
+		if a.unknown {
+			dirtyKnown = false
+		}
+		for _, v := range a.nodes {
+			if v < s.n {
+				dirty = append(dirty, v)
+			}
+		}
+		a.nodes = a.nodes[:0]
+		a.unknown = false
+		a.mu.Unlock()
+	}
+	s.scratchDirty = dirty
+
+	prev := s.cur.Load()
+	var snap *kcore.CoreSnapshot
+	var epochDirty []uint32
+	peeled := false
+	switch {
+	case cutEdges == 0 && prev != nil && s.localsPure && dirtyKnown:
+		// Incremental gather: only nodes some session reported dirty can
+		// have changed their (local == global) core number.
+		for _, v := range dirty {
+			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
+		}
+		// Non-nil even when empty: an empty dirty set is a *known* delta
+		// (zero changes), which still entitles the epoch to a trivial
+		// memo repair; nil would mean "unknown" and force a rebuild.
+		epochDirty = append(make([]uint32, 0, len(dirty)), dirty...)
+		snap, _ = prev.CoreSnapshot.WithUpdates(s.cores, epochDirty, totalEdges)
+	case cutEdges == 0:
+		// Full gather: locals are exact but the incremental view is not
+		// trusted (first compose, post-peel, or a lost dirty set).
+		for v := uint32(0); v < s.n; v++ {
+			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
+		}
+		snap = kcore.SnapshotFromCores(s.cores, totalEdges)
+	default:
+		// Cut edges present: exact global peel over the union graph.
+		peeled = true
+		var err error
+		if snap, epochDirty, err = s.peel(prev, totalEdges); err != nil {
+			return err
+		}
+	}
+	s.localsPure = !peeled
+
+	e := serve.ComposeEpoch(prev, snap, s.seq, uint64(applied), epochDirty, s.ctr)
+	s.seq++
+	s.cur.Store(e)
+	s.composedUpTo = routed
+	s.ctr.NotePublish(e.Seq, snap.TakenAt)
+	s.sctr.NoteCompose(peeled)
+	s.sctr.SetEdgeGauges(cutEdges, totalEdges)
+	return nil
+}
+
+// peel computes the exact global decomposition by scanning the quiescent
+// per-session graphs into one in-memory CSR and running the linear-time
+// bin-sort peel over their union, then diffs the result against the
+// previous composite cores so the snapshot can still be built
+// copy-on-write. Reports the snapshot and the exact changed-node set
+// (nil when prev is absent).
+func (s *Sharded) peel(prev *serve.Epoch, totalEdges int64) (*kcore.CoreSnapshot, []uint32, error) {
+	edges := make([]memgraph.Edge, 0, totalEdges)
+	for i, g := range s.graphs {
+		err := g.VisitEdges(func(u, v uint32) error {
+			edges = append(edges, memgraph.Edge{U: u, V: v})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: compose scan of shard %d: %w", i, err)
+		}
+	}
+	csr, err := memgraph.FromEdges(s.n, edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: compose union: %w", err)
+	}
+	res := imcore.Decompose(csr, nil)
+	if prev == nil {
+		copy(s.cores, res.Core)
+		snap := kcore.SnapshotFromCores(s.cores, totalEdges)
+		return snap, nil, nil
+	}
+	var changed []uint32
+	for v := uint32(0); v < s.n; v++ {
+		if s.cores[v] != res.Core[v] {
+			changed = append(changed, v)
+			s.cores[v] = res.Core[v]
+		}
+	}
+	snap, _ := prev.CoreSnapshot.WithUpdates(s.cores, changed, totalEdges)
+	return snap, changed, nil
+}

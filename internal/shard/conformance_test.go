@@ -1,0 +1,342 @@
+package shard_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"kcore"
+	"kcore/internal/gen"
+	"kcore/internal/graphio"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+)
+
+// openTestGraph materialises a deterministic social graph on disk and
+// opens it, returning the handle and its edge list.
+func openTestGraph(t testing.TB, n uint32, seed int64) (*kcore.Graph, []kcore.Edge) {
+	t.Helper()
+	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, csr.EdgeList()
+}
+
+// socialEdges regenerates the raw fixture edge stream openTestGraph was
+// built from (a superset of the deduplicated on-disk graph — duplicates
+// and self-loops are dropped at build time).
+func socialEdges(n uint32, seed int64) []kcore.Edge {
+	return gen.Social(n, 3, 8, 8, seed)
+}
+
+// edgeKey canonicalises an undirected edge for the mirror set.
+func edgeKey(u, v uint32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// compareEpochs fails the test unless the sharded composite epoch agrees
+// with the single-engine epoch on every served quantity: per-node cores,
+// degeneracy, edge count, size profile, and k-core membership.
+func compareEpochs(t *testing.T, round int, got, want *serve.Epoch) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("round %d: nodes = %d, want %d", round, got.NumNodes(), want.NumNodes())
+	}
+	if got.NumEdges != want.NumEdges {
+		t.Fatalf("round %d: edges = %d, want %d", round, got.NumEdges, want.NumEdges)
+	}
+	if got.Kmax != want.Kmax {
+		t.Fatalf("round %d: kmax = %d, want %d", round, got.Kmax, want.Kmax)
+	}
+	for v := uint32(0); v < want.NumNodes(); v++ {
+		if g, w := got.CoreAt(v), want.CoreAt(v); g != w {
+			t.Fatalf("round %d: core(%d) = %d, want %d", round, v, g, w)
+		}
+	}
+	gp, wp := got.Profile(), want.Profile()
+	if len(gp) != len(wp) {
+		t.Fatalf("round %d: profile length %d, want %d", round, len(gp), len(wp))
+	}
+	for k := range wp {
+		if gp[k] != wp[k] {
+			t.Fatalf("round %d: |%d-core| = %d, want %d", round, k, gp[k], wp[k])
+		}
+	}
+	for _, k := range []uint32{1, want.Kmax / 2, want.Kmax} {
+		gk, wk := got.KCoreAt(k), want.KCoreAt(k)
+		if len(gk) != len(wk) {
+			t.Fatalf("round %d: |KCoreAt(%d)| = %d, want %d", round, k, len(gk), len(wk))
+		}
+	}
+}
+
+// runConformance drives the same randomized mutation workload through a
+// Sharded engine and a single-engine ConcurrentSession on an identical
+// graph, comparing full decompositions after every Sync. The workload
+// mixes valid inserts/deletes with invalid updates (duplicates, absent
+// deletes, self-loops, out-of-range ids) and checks read-your-writes:
+// the snapshot taken right after Sync must reflect the mirror's exact
+// edge count.
+func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint32, int) int, seed int64) {
+	gShard, edges := openTestGraph(t, nodes, seed)
+	gSingle, _ := openTestGraph(t, nodes, seed)
+
+	sh, err := shard.New(gShard, &shard.Options{Shards: shards, Partition: partition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	present := make(map[uint64]bool, len(edges))
+	for _, e := range edges {
+		present[edgeKey(e.U, e.V)] = true
+	}
+	var live []kcore.Edge // edges currently present (mirror)
+	live = append(live, edges...)
+
+	r := rand.New(rand.NewSource(seed))
+	const rounds, opsPerRound = 12, 160
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < opsPerRound; i++ {
+			var up serve.Update
+			switch c := r.Intn(10); {
+			case c < 4 && len(live) > 0: // delete a live edge
+				j := r.Intn(len(live))
+				e := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				present[edgeKey(e.U, e.V)] = false
+				up = serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}
+			case c < 8: // insert a random (possibly duplicate) edge
+				u, v := uint32(r.Intn(int(nodes))), uint32(r.Intn(int(nodes)))
+				up = serve.Update{Op: serve.OpInsert, U: u, V: v}
+				if u != v && !present[edgeKey(u, v)] {
+					present[edgeKey(u, v)] = true
+					live = append(live, kcore.Edge{U: min(u, v), V: max(u, v)})
+				}
+			case c == 8: // invalid: self-loop or out-of-range
+				if r.Intn(2) == 0 {
+					v := uint32(r.Intn(int(nodes)))
+					up = serve.Update{Op: serve.OpInsert, U: v, V: v}
+				} else {
+					up = serve.Update{Op: serve.OpDelete, U: nodes + 17, V: 0}
+				}
+			default: // invalid: delete an absent edge
+				u, v := uint32(r.Intn(int(nodes))), uint32(r.Intn(int(nodes)))
+				if u != v && present[edgeKey(u, v)] {
+					continue
+				}
+				up = serve.Update{Op: serve.OpDelete, U: u, V: v}
+			}
+			if err := sh.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		got, want := sh.Snapshot(), single.Snapshot()
+		if got.NumEdges != int64(len(live)) {
+			t.Fatalf("round %d: read-your-writes violated: %d edges after Sync, mirror has %d",
+				round, got.NumEdges, len(live))
+		}
+		compareEpochs(t, round, got, want)
+	}
+}
+
+// TestShardedConformanceAdversarialCut is the acceptance test: 3 shards
+// under the default hash partition of a social graph, where most edges
+// are cross-shard (the adversarial regime) — every compose must take the
+// global-peel path and still agree exactly with an independent
+// single-engine maintenance run.
+func TestShardedConformanceAdversarialCut(t *testing.T) {
+	runConformance(t, 220, 3, nil, 7)
+	runConformance(t, 150, 3, nil, 8)
+}
+
+// TestShardedConformanceMixedCut uses a range partition, so the workload
+// crosses between the gather regime (few or no cut edges) and the peel
+// regime as random edges land across block boundaries.
+func TestShardedConformanceMixedCut(t *testing.T) {
+	runConformance(t, 200, 4, shard.RangePartition(200), 11)
+}
+
+// TestShardedConformanceCutFree keeps every edge inside one shard (a
+// partition-aligned workload on a block-diagonal graph), pinning the
+// gather fast path: no compose may ever fall back to the global peel.
+func TestShardedConformanceCutFree(t *testing.T) {
+	const blocks = 3
+	const blockNodes = 70
+	const nodes = blocks * blockNodes
+	// Block-diagonal fixture: `blocks` independent social graphs on
+	// contiguous id ranges.
+	var edges []kcore.Edge
+	for bl := 0; bl < blocks; bl++ {
+		off := uint32(bl * blockNodes)
+		for _, e := range gen.Social(blockNodes, 3, 6, 6, int64(30+bl)) {
+			edges = append(edges, kcore.Edge{U: e.U + off, V: e.V + off})
+		}
+	}
+	base := filepath.Join(t.TempDir(), "blockdiag")
+	if err := kcore.Build(base, kcore.SliceEdges(edges), &kcore.BuildOptions{NumNodes: nodes}); err != nil {
+		t.Fatal(err)
+	}
+	gShard, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gShard.Close()
+	gSingle, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gSingle.Close()
+
+	part := shard.RangePartition(nodes)
+	sh, err := shard.New(gShard, &shard.Options{Shards: blocks, Partition: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	r := rand.New(rand.NewSource(91))
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 120; i++ {
+			// Shard-local random pair: both endpoints from one block.
+			bl := r.Intn(blocks)
+			u := uint32(bl*blockNodes + r.Intn(blockNodes))
+			v := uint32(bl*blockNodes + r.Intn(blockNodes))
+			op := serve.OpInsert
+			if r.Intn(2) == 0 {
+				op = serve.OpDelete
+			}
+			up := serve.Update{Op: op, U: u, V: v}
+			if err := sh.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		compareEpochs(t, round, sh.Snapshot(), single.Snapshot())
+	}
+	st := sh.ShardStats()
+	if st.Routing.PeelMerges != 0 {
+		t.Errorf("cut-free workload took %d peel merges, want 0 (gathers: %d)",
+			st.Routing.PeelMerges, st.Routing.GatherMerges)
+	}
+	if st.Routing.CrossRouted != 0 {
+		t.Errorf("cut-free workload routed %d updates to the cut session, want 0", st.Routing.CrossRouted)
+	}
+	if ratio := st.Routing.CrossShardEdgeRatio(); ratio != 0 {
+		t.Errorf("cross-shard edge ratio = %v, want 0", ratio)
+	}
+}
+
+// TestShardedRegimeTransitions walks the engine through
+// gather -> peel -> gather: cut edges are inserted (forcing global
+// peels), verified, then deleted again — the compose after their removal
+// must return to the gather path and still be exact. This pins the
+// localsPure bookkeeping: after a peel, locals are re-trusted only via a
+// full regather.
+func TestShardedRegimeTransitions(t *testing.T) {
+	const nodes = 180
+	gShard, _ := openTestGraph(t, nodes, 5)
+	gSingle, _ := openTestGraph(t, nodes, 5)
+	part := shard.RangePartition(nodes)
+	sh, err := shard.New(gShard, &shard.Options{Shards: 3, Partition: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	apply := func(ups ...serve.Update) {
+		t.Helper()
+		if err := sh.Apply(ups...); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Apply(ups...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The base social graph almost certainly has cut edges under a range
+	// partition of a non-block graph; count the starting regime, then
+	// add explicit cut edges between the first nodes of each block.
+	cutEdges := []kcore.Edge{{U: 0, V: 61}, {U: 1, V: 121}, {U: 62, V: 122}}
+	var ups []serve.Update
+	for _, e := range cutEdges {
+		ups = append(ups, serve.Update{Op: serve.OpInsert, U: e.U, V: e.V})
+	}
+	apply(ups...)
+	compareEpochs(t, 0, sh.Snapshot(), single.Snapshot())
+
+	// Remove every cut edge the engine currently holds (the injected
+	// ones plus any the fixture started with), then mutate shard-locally:
+	// composes must now gather, exactly.
+	st := sh.ShardStats()
+	if st.Routing.PeelMerges == 0 {
+		t.Fatalf("expected at least one peel merge after inserting cut edges")
+	}
+	var drop []serve.Update
+	for _, e := range cutEdges {
+		drop = append(drop, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+	}
+	// Delete the fixture's own cross-block edges too (the raw generator
+	// stream is a superset of the on-disk graph; extra deletes are
+	// rejected identically by both engines).
+	for _, e := range socialEdges(nodes, 5) {
+		if part(e.U, 3) != part(e.V, 3) {
+			drop = append(drop, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+		}
+	}
+	apply(drop...)
+	compareEpochs(t, 1, sh.Snapshot(), single.Snapshot())
+	if cut := sh.ShardStats().Routing.CutEdges; cut != 0 {
+		t.Fatalf("cut edges after dropping them all = %d, want 0", cut)
+	}
+
+	peelsBefore := sh.ShardStats().Routing.PeelMerges
+	apply(serve.Update{Op: serve.OpDelete, U: 10, V: 11}, serve.Update{Op: serve.OpInsert, U: 10, V: 12})
+	apply(serve.Update{Op: serve.OpInsert, U: 10, V: 11})
+	compareEpochs(t, 2, sh.Snapshot(), single.Snapshot())
+	if peels := sh.ShardStats().Routing.PeelMerges; peels != peelsBefore {
+		t.Errorf("shard-local updates on a cut-free graph took %d extra peel merges, want 0", peels-peelsBefore)
+	}
+}

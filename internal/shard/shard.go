@@ -1,0 +1,498 @@
+// Package shard scales the serving layer past the single-writer-per-graph
+// bottleneck: a Sharded engine hash-partitions the node id space across N
+// unmodified serve.ConcurrentSession writers plus one cut session, so
+// update maintenance — the measured hot path since PR 3 made publication
+// O(changed) — runs on N+1 writer goroutines in parallel.
+//
+// # Partition and routing
+//
+// Every session's graph covers the full id space [0, n); what is
+// partitioned is the edge set. A deterministic owner rule routes each
+// update by its endpoints: an intra-shard edge (both endpoints hash to
+// shard i) goes to shard i's writer, a cross-shard edge goes to the cut
+// session (index N). The N+1 per-session subgraphs are therefore pairwise
+// edge-disjoint and their union is exactly the served graph — the
+// invariant every merge below leans on. The rule is stable for the life
+// of the engine, so all updates to one edge serialize through one writer
+// and per-edge validation (duplicate insert, absent delete) stays local.
+//
+// # Scatter-gather queries
+//
+// Readers never see per-shard state: the Sharded engine publishes
+// composite epochs (ordinary serve.Epoch values, with the same per-epoch
+// memoized queries) assembled by a compose step that gathers the N+1
+// per-session epochs behind a barrier. Exactness comes from a
+// disjointness argument with two regimes:
+//
+//   - No cut edges: the graph is the disjoint union of the per-shard
+//     subgraphs, each component lies inside one shard, and a node's
+//     global core number equals its core number in its own shard
+//     (core numbers are component-local). Compose is then a gather of
+//     per-shard local cores — O(changed) when the per-shard dirty sets
+//     are known, O(n) otherwise — with no algorithmic work at all.
+//
+//   - Cut edges present: local core numbers are only lower bounds (a
+//     cut edge can raise cores in several shards), so compose falls back
+//     to an exact global peel: it scans the quiescent per-session graphs
+//     into one in-memory CSR and runs the linear-time bin-sort
+//     decomposition (internal/imcore) over the union. O(n + m), always
+//     correct, and honestly accounted: stats.ShardCounters reports the
+//     gather/peel split and the live cross-shard edge ratio, which is
+//     the partition-quality dial an operator tunes.
+//
+// Cross-shard writes therefore do not scale (they serialize through the
+// cut session and force peel merges) — shard-local writes do. That
+// trade is the same one every sharded store makes; the counters make it
+// observable instead of implicit. See docs/ARCHITECTURE.md for the full
+// design discussion, including why per-shard cores cannot simply be
+// summed or maxed into global ones.
+//
+// # Consistency model
+//
+// Same contract as one ConcurrentSession, lifted to the composite:
+// Snapshot returns the last composite epoch (one atomic load, never
+// blocks, possibly stale); Sync routes a barrier through every session
+// and then composes, so a Snapshot taken after Sync reflects all of the
+// caller's prior updates (read-your-writes); updates to the same edge
+// apply in enqueue order because the owner rule pins each edge to one
+// writer. Updates to distinct edges may interleave across shards, which
+// is indistinguishable from the single-writer coalescer's own batch
+// reordering.
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+	"kcore/internal/serve"
+	"kcore/internal/stats"
+)
+
+// Options tunes a Sharded engine. The zero value selects defaults.
+type Options struct {
+	// Shards is the number of node-partition shards N; each gets its own
+	// writer goroutine, plus one more for the cut session. 0 selects 2.
+	Shards int
+	// Partition maps a node id to its shard in [0, shards). nil selects
+	// a multiplicative hash. The function must be pure: the owner rule
+	// (and so edge routing) is derived from it and must never change for
+	// the life of the engine.
+	Partition func(v uint32, shards int) int
+	// Serve tunes every per-session writer. Counters and OnPublish are
+	// overridden (each session gets private counters; OnPublish feeds
+	// the compose dirty accumulator).
+	Serve serve.Options
+	// WorkDir holds the derived per-shard graph files (N+1 graphs, built
+	// by scattering the base graph at construction). Empty selects a
+	// temporary directory removed on Close. The files are derived state:
+	// rebuilt from the base graph on every New, never reattached.
+	WorkDir string
+	// Open tunes the per-shard graph handles.
+	Open kcore.OpenOptions
+	// Counters receives the composite serving metrics (epoch sequence,
+	// cache hit/miss of composite epochs, enqueue totals); nil allocates
+	// a private set. Per-shard counters are always private and exposed
+	// through ShardStats.
+	Counters *stats.ServeCounters
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Partition == nil {
+		o.Partition = HashPartition
+	}
+	if o.Counters == nil {
+		o.Counters = new(stats.ServeCounters)
+	}
+	return o
+}
+
+// HashPartition is the default node partition: a multiplicative
+// (Fibonacci) hash of the id, so dense id ranges spread evenly across
+// shards regardless of how the graph was numbered.
+func HashPartition(v uint32, shards int) int {
+	return int((uint64(v*2654435761) * uint64(shards)) >> 32)
+}
+
+// RangePartition partitions [0, n) into `shards` contiguous id blocks.
+// It keeps id-clustered communities together (the partition a loader
+// that numbers nodes by locality wants); with adversarial numbering it
+// degrades to the same cut ratio as any other rule.
+func RangePartition(n uint32) func(v uint32, shards int) int {
+	return func(v uint32, shards int) int {
+		if n == 0 || v >= n {
+			return 0
+		}
+		return int(uint64(v) * uint64(shards) / uint64(n))
+	}
+}
+
+// dirtyAcc accumulates one session's published dirty sets between
+// composes. It is appended to from that session's writer goroutine (via
+// OnPublish) and drained by the composer under the engine's write lock.
+type dirtyAcc struct {
+	mu      sync.Mutex
+	nodes   []uint32
+	unknown bool // a publish did not report its dirty set: force a full gather
+}
+
+// Sharded is a multi-writer engine: N per-shard serve.ConcurrentSessions
+// plus one cut session, behind the same interface as a single session
+// (it implements engine.Engine). See the package comment for the
+// partition, merge, and consistency model.
+type Sharded struct {
+	n       uint32
+	nshards int // N; sessions has N+1 entries, the cut session last
+	part    func(v uint32, shards int) int
+
+	graphs   []*kcore.Graph
+	sessions []*serve.ConcurrentSession
+	acc      []dirtyAcc
+	dir      string
+	ownDir   bool
+
+	ctr  *stats.ServeCounters // composite counters
+	sctr stats.ShardCounters  // routing / compose counters
+
+	// mu is the route/compose seam: Enqueue holds it shared (routing is
+	// concurrent across callers), compose holds it exclusively so the
+	// barrier covers everything ever routed. closed is guarded by it.
+	mu     sync.RWMutex
+	closed bool
+
+	cur    atomic.Pointer[serve.Epoch] // last composite epoch
+	routed atomic.Int64                // updates forwarded to sessions
+
+	// Composer-owned state (only touched under mu held exclusively).
+	cores         []uint32 // composite core numbers as of the last compose
+	localsPure    bool     // cores came from the gather path (locals are exact)
+	seq           uint64   // next composite epoch sequence number
+	composedUpTo  int64    // routed count covered by the last compose
+	scratchDirty  []uint32 // reusable buffer for drained dirty sets
+	scratchEpochs []*serve.Epoch
+}
+
+// New scatters base's edges into N+1 per-session graphs under the work
+// directory, starts one writer per graph, and publishes composite epoch
+// 0. base is only read during construction: the caller keeps ownership
+// and may close (or keep using) it as soon as New returns.
+func New(base *kcore.Graph, opts *Options) (*Sharded, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+
+	dir, ownDir := o.WorkDir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "kcore-shards-")
+		if err != nil {
+			return nil, fmt.Errorf("shard: workdir: %w", err)
+		}
+		dir, ownDir = d, true
+	}
+
+	s := &Sharded{
+		n:       base.NumNodes(),
+		nshards: o.Shards,
+		part:    o.Partition,
+		dir:     dir,
+		ownDir:  ownDir,
+		ctr:     o.Counters,
+		cores:   make([]uint32, base.NumNodes()),
+	}
+	if err := s.build(base, o); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	s.mu.Lock()
+	err := s.composeLocked()
+	s.mu.Unlock()
+	if err != nil {
+		s.Close() //nolint:errcheck // compose error wins
+		return nil, err
+	}
+	return s, nil
+}
+
+// build scatters base into the per-session graphs and starts the writers.
+func (s *Sharded) build(base *kcore.Graph, o Options) error {
+	nsess := s.nshards + 1
+	buckets := make([][]kcore.Edge, nsess)
+	err := base.VisitEdges(func(u, v uint32) error {
+		i, _ := s.route(u, v)
+		buckets[i] = append(buckets[i], kcore.Edge{U: u, V: v})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("shard: scatter: %w", err)
+	}
+
+	s.graphs = make([]*kcore.Graph, nsess)
+	s.sessions = make([]*serve.ConcurrentSession, nsess)
+	s.acc = make([]dirtyAcc, nsess)
+	errs := make([]error, nsess)
+	var wg sync.WaitGroup
+	for i := 0; i < nsess; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prefix := filepath.Join(s.dir, fmt.Sprintf("shard%d", i))
+			if err := kcore.Build(prefix, kcore.SliceEdges(buckets[i]), &kcore.BuildOptions{NumNodes: s.n}); err != nil {
+				errs[i] = fmt.Errorf("shard: build shard %d: %w", i, err)
+				return
+			}
+			g, err := kcore.Open(prefix, &o.Open)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: open shard %d: %w", i, err)
+				return
+			}
+			s.graphs[i] = g
+			so := o.Serve
+			so.Counters = new(stats.ServeCounters)
+			acc := &s.acc[i]
+			so.OnPublish = func(e *serve.Epoch) {
+				acc.mu.Lock()
+				switch d := e.Dirty(); {
+				case len(d) > 0:
+					acc.nodes = append(acc.nodes, d...)
+				case e.Seq > 0 && d == nil && e.Applied > 0:
+					// A post-startup publish without a dirty set (the
+					// full-copy fallback): the gather path can no longer
+					// trust its incremental view.
+					acc.unknown = true
+				}
+				acc.mu.Unlock()
+			}
+			sess, err := serve.New(g, &so)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: start shard %d: %w", i, err)
+				return
+			}
+			s.sessions[i] = sess
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardOf maps a node to its shard, clamping whatever a custom partition
+// returns into range so routing can never index out of bounds.
+func (s *Sharded) shardOf(v uint32) int {
+	p := s.part(v, s.nshards)
+	if p < 0 || p >= s.nshards {
+		p = int(uint(p) % uint(s.nshards))
+	}
+	return p
+}
+
+// route applies the owner rule: intra-shard edges go to their shard's
+// writer, cross-shard edges to the cut session.
+func (s *Sharded) route(u, v uint32) (idx int, cross bool) {
+	pu, pv := s.shardOf(u), s.shardOf(v)
+	if pu == pv {
+		return pu, false
+	}
+	return s.nshards, true
+}
+
+// Snapshot returns the last composite epoch: one atomic load, never
+// blocks. The epoch is immutable and stays valid after Close.
+func (s *Sharded) Snapshot() *serve.Epoch { return s.cur.Load() }
+
+// Enqueue routes updates to their owning writers in caller order,
+// blocking only on per-shard backpressure. Routing is concurrent across
+// callers (a shared lock); only a compose barrier briefly excludes it.
+func (s *Sharded) Enqueue(ups ...serve.Update) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return serve.ErrClosed
+	}
+	for _, up := range ups {
+		i, cross := s.route(up.U, up.V)
+		if err := s.sessions[i].Enqueue(up); err != nil {
+			return err
+		}
+		// Count per update, not per call: a mid-batch failure must leave
+		// the composite enqueued counter equal to what actually reached
+		// the writers, or enqueued = applied + rejected + annihilated
+		// breaks.
+		s.sctr.NoteRouted(1, cross)
+		s.ctr.NoteEnqueued(1)
+		s.routed.Add(1)
+	}
+	return nil
+}
+
+// Insert enqueues an edge insertion.
+func (s *Sharded) Insert(u, v uint32) error {
+	return s.Enqueue(serve.Update{Op: serve.OpInsert, U: u, V: v})
+}
+
+// Delete enqueues an edge deletion.
+func (s *Sharded) Delete(u, v uint32) error {
+	return s.Enqueue(serve.Update{Op: serve.OpDelete, U: u, V: v})
+}
+
+// Sync blocks until every update enqueued before the call is applied and
+// covered by a composite epoch — the read-your-writes barrier. Concurrent
+// Syncs serialize; a Sync that finds nothing new routed since the last
+// compose returns without recomposing.
+func (s *Sharded) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return serve.ErrClosed
+	}
+	if s.routed.Load() == s.composedUpTo {
+		// Nothing routed since the last compose; it is still exact. Run
+		// the per-session barriers anyway so a writer failure surfaces.
+		return s.syncSessions()
+	}
+	return s.composeLocked()
+}
+
+// Apply enqueues updates and waits for a composite epoch covering them.
+func (s *Sharded) Apply(ups ...serve.Update) error {
+	if err := s.Enqueue(ups...); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// Counters exposes the composite serving counters.
+func (s *Sharded) Counters() *stats.ServeCounters { return s.ctr }
+
+// Stats aggregates the serving counters across the composite layer and
+// every per-session writer: ingest/apply/coalescing totals are summed
+// over the sessions, epoch and cache figures come from the composite
+// epochs, and queue depth is the sum of the per-shard queues. Per-writer
+// breakdowns are available from ShardStats.
+func (s *Sharded) Stats() stats.ServeSnapshot {
+	now := time.Now()
+	agg := s.ctr.Snapshot(now) // Enqueued, Epoch, EpochAge, cache hit/miss
+	agg.QueueDepth = 0
+	for _, sess := range s.sessions {
+		ss := sess.Stats()
+		agg.Applied += ss.Applied
+		agg.Rejected += ss.Rejected
+		agg.Batches += ss.Batches
+		agg.BatchEdgesSum += ss.BatchEdgesSum
+		if ss.BatchEdgesMax > agg.BatchEdgesMax {
+			agg.BatchEdgesMax = ss.BatchEdgesMax
+		}
+		agg.QueueDepth += ss.QueueDepth
+		agg.Annihilated += ss.Annihilated
+		agg.DirtyNodesSum += ss.DirtyNodesSum
+		agg.CowChunksCopied += ss.CowChunksCopied
+		agg.CowChunksTotal += ss.CowChunksTotal
+		agg.MemoRepairs += ss.MemoRepairs
+		agg.AdaptiveBatch += ss.AdaptiveBatch
+	}
+	return agg
+}
+
+// ShardStats reports the full sharded observability view: composite
+// counters, routing/compose counters, and one ServeSnapshot per writer
+// (shards 0..N-1, the cut session last).
+func (s *Sharded) ShardStats() stats.ShardedSnapshot {
+	out := stats.ShardedSnapshot{
+		Composite: s.ctr.Snapshot(time.Now()),
+		Routing:   s.sctr.Snapshot(),
+		Shards:    make([]stats.ServeSnapshot, len(s.sessions)),
+	}
+	for i, sess := range s.sessions {
+		out.Shards[i] = sess.Stats()
+	}
+	return out
+}
+
+// IOStats sums the block I/O performed through every per-session graph.
+func (s *Sharded) IOStats() kcore.IOStats {
+	var total kcore.IOStats
+	for _, g := range s.graphs {
+		io := g.IOStats()
+		total.BlockSize = io.BlockSize
+		total.Reads += io.Reads
+		total.Writes += io.Writes
+		total.ReadBytes += io.ReadBytes
+		total.WriteBytes += io.WriteBytes
+	}
+	return total
+}
+
+// NumShards reports N (the cut session is not counted).
+func (s *Sharded) NumShards() int { return s.nshards }
+
+// Close composes a final epoch covering everything routed, then stops
+// every writer and releases the per-session graphs (removing the derived
+// graph files when the engine owns its work directory). The last
+// composite epoch stays readable.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return serve.ErrClosed
+	}
+	var err error
+	if s.routed.Load() != s.composedUpTo {
+		err = s.composeLocked()
+	}
+	s.closed = true
+	if cerr := s.teardown(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// teardown stops the sessions in parallel and releases graphs and the
+// owned work directory, keeping the first error.
+func (s *Sharded) teardown() error {
+	errs := make([]error, len(s.sessions))
+	var wg sync.WaitGroup
+	for i, sess := range s.sessions {
+		if sess == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sess *serve.ConcurrentSession) {
+			defer wg.Done()
+			errs[i] = sess.Close()
+		}(i, sess)
+	}
+	wg.Wait()
+	var err error
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	for _, g := range s.graphs {
+		if g == nil {
+			continue
+		}
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.ownDir {
+		if cerr := os.RemoveAll(s.dir); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

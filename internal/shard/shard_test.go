@@ -1,0 +1,241 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"kcore/internal/engine"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+)
+
+// The sharded engine must remain a drop-in engine.Engine.
+var _ engine.Engine = (*shard.Sharded)(nil)
+
+func TestShardedBasicLifecycle(t *testing.T) {
+	g, edges := openTestGraph(t, 120, 3)
+	sh, err := shard.New(g, &shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sh.Snapshot()
+	if snap == nil {
+		t.Fatal("no composite epoch after New")
+	}
+	if snap.Seq != 0 {
+		t.Fatalf("initial composite epoch seq = %d, want 0", snap.Seq)
+	}
+	if snap.NumNodes() != 120 {
+		t.Fatalf("nodes = %d, want 120", snap.NumNodes())
+	}
+	if snap.NumEdges != int64(len(edges)) {
+		t.Fatalf("edges = %d, want %d", snap.NumEdges, len(edges))
+	}
+
+	// Read-your-writes through Apply.
+	e := edges[0]
+	if err := sh.Apply(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Snapshot().NumEdges; got != int64(len(edges)-1) {
+		t.Fatalf("edges after applied delete = %d, want %d", got, len(edges)-1)
+	}
+	if sh.Snapshot().Seq == 0 {
+		t.Fatal("Apply did not publish a new composite epoch")
+	}
+
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != serve.ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if err := sh.Enqueue(serve.Update{Op: serve.OpInsert, U: 1, V: 2}); err != serve.ErrClosed {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if sh.Snapshot() == nil {
+		t.Fatal("last composite epoch must stay readable after Close")
+	}
+}
+
+func TestShardedStatsAndCounters(t *testing.T) {
+	g, edges := openTestGraph(t, 150, 4)
+	sh, err := shard.New(g, &shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	var ups []serve.Update
+	for _, e := range edges[:32] {
+		ups = append(ups, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+	}
+	if err := sh.Apply(ups...); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Enqueued != 32 {
+		t.Fatalf("aggregate enqueued = %d, want 32", st.Enqueued)
+	}
+	if st.Applied+st.Rejected+st.Annihilated != 32 {
+		t.Fatalf("applied(%d)+rejected(%d)+annihilated(%d) != 32",
+			st.Applied, st.Rejected, st.Annihilated)
+	}
+	ss := sh.ShardStats()
+	if got := len(ss.Shards); got != 4 { // 3 shards + cut session
+		t.Fatalf("ShardStats reports %d writers, want 4", got)
+	}
+	var routed int64
+	routed = ss.Routing.IntraRouted + ss.Routing.CrossRouted
+	if routed != 32 {
+		t.Fatalf("routed = %d, want 32", routed)
+	}
+	if ss.Routing.Composes == 0 {
+		t.Fatal("no composes recorded")
+	}
+	if ss.Routing.TotalEdges != sh.Snapshot().NumEdges {
+		t.Fatalf("total-edge gauge %d != snapshot edges %d", ss.Routing.TotalEdges, sh.Snapshot().NumEdges)
+	}
+	if sh.IOStats().Total() == 0 {
+		t.Fatal("expected nonzero aggregate I/O")
+	}
+}
+
+// TestShardedCompositeMemo pins the memoized-query machinery on composite
+// epochs: repeated KCoreAt hits the memo, and after a small shard-local
+// change the next epoch's memo is repaired from its predecessor rather
+// than rebuilt.
+func TestShardedCompositeMemo(t *testing.T) {
+	const nodes = 160
+	g, _ := openTestGraph(t, nodes, 9)
+	part := shard.RangePartition(nodes)
+	sh, err := shard.New(g, &shard.Options{Shards: 2, Partition: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	// Drop every cut edge so the gather path (which carries dirty sets,
+	// enabling memo repair) is in effect.
+	var drop []serve.Update
+	for _, e := range socialEdges(nodes, 9) {
+		if part(e.U, 2) != part(e.V, 2) {
+			drop = append(drop, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+		}
+	}
+	if err := sh.Apply(drop...); err != nil {
+		t.Fatal(err)
+	}
+
+	e0 := sh.Snapshot()
+	_ = e0.KCoreAt(1) // builds the memo
+	_ = e0.KCoreAt(1) // hits it
+	st := sh.ShardStats().Composite
+	if st.CacheMisses == 0 || st.CacheHits == 0 {
+		t.Fatalf("composite memo accounting: hits=%d misses=%d, want both nonzero", st.CacheHits, st.CacheMisses)
+	}
+
+	// One shard-local mutation; the next composite epoch should repair
+	// its memo from e0's instead of re-sorting.
+	if err := sh.Apply(serve.Update{Op: serve.OpDelete, U: 1, V: 2}, serve.Update{Op: serve.OpInsert, U: 1, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := sh.Snapshot()
+	if e1 == e0 {
+		t.Fatal("expected a new composite epoch")
+	}
+	_ = e1.KCoreAt(1)
+	if repairs := sh.ShardStats().Composite.MemoRepairs; repairs == 0 {
+		t.Error("composite epoch memo was rebuilt, want repair from predecessor")
+	}
+	// The k-core sets must agree between memoized and plain reads.
+	for _, k := range []uint32{1, e1.Kmax} {
+		if got, want := len(e1.KCoreAt(k)), len(e1.KCore(k)); got != want {
+			t.Fatalf("|KCoreAt(%d)| = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestShardedConcurrentUse is the race-detector workout: concurrent
+// enqueuers, snapshot readers, and sync callers against one sharded
+// engine. Correctness of the final state is checked against the
+// engine's own accounting invariant.
+func TestShardedConcurrentUse(t *testing.T) {
+	const nodes = 200
+	g, edges := openTestGraph(t, nodes, 13)
+	sh, err := shard.New(g, &shard.Options{Shards: 3, Serve: serve.Options{MaxBatch: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	const writers, readers, syncers = 4, 4, 2
+	const opsPerWriter = 300
+	var wgWrite, wgRead sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wgWrite.Add(1)
+		go func(w int) {
+			defer wgWrite.Done()
+			own := edges[w*len(edges)/writers : (w+1)*len(edges)/writers]
+			for i := 0; i < opsPerWriter; i++ {
+				e := own[i%len(own)]
+				op := serve.OpDelete
+				if i%2 == 1 {
+					op = serve.OpInsert
+				}
+				if err := sh.Enqueue(serve.Update{Op: op, U: e.U, V: e.V}); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wgRead.Add(1)
+		go func(r int) {
+			defer wgRead.Done()
+			v := uint32(r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := sh.Snapshot()
+				if c, err := snap.CoreOf(v % snap.NumNodes()); err != nil || c > snap.Kmax {
+					t.Errorf("CoreOf = %d, %v", c, err)
+					return
+				}
+				_ = snap.KCoreAt(snap.Kmax / 2)
+				v += 7
+			}
+		}(r)
+	}
+	for i := 0; i < syncers; i++ {
+		wgWrite.Add(1)
+		go func() {
+			defer wgWrite.Done()
+			for j := 0; j < 10; j++ {
+				if err := sh.Sync(); err != nil {
+					t.Errorf("sync: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wgWrite.Wait()
+	close(stop)
+	wgRead.Wait()
+
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Enqueued != writers*opsPerWriter {
+		t.Fatalf("enqueued = %d, want %d", st.Enqueued, writers*opsPerWriter)
+	}
+	if st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+}

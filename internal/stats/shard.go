@@ -1,0 +1,102 @@
+package stats
+
+import "sync/atomic"
+
+// ShardCounters is the accounting substrate for the sharded engine
+// (internal/shard): update routing by shard class, compose-path shape,
+// and the cut-edge gauge behind the cross-shard edge ratio. Like
+// ServeCounters, all fields are atomic so one instance is shared by every
+// router goroutine, the composer, and metrics scrapers.
+type ShardCounters struct {
+	intraRouted atomic.Int64 // updates routed to a single shard writer
+	crossRouted atomic.Int64 // updates routed to the cut session
+
+	composes     atomic.Int64 // composite epochs published
+	gatherMerges atomic.Int64 // composes served by the O(changed)/O(n) local-core gather
+	peelMerges   atomic.Int64 // composes that had to run the global peel (cut edges present)
+
+	cutEdges   atomic.Int64 // gauge: cut edges present at the last compose
+	totalEdges atomic.Int64 // gauge: total edges at the last compose
+}
+
+// NoteRouted records n updates routed to one writer; cross marks the cut
+// session (an edge whose endpoints hash to different shards).
+func (c *ShardCounters) NoteRouted(n int, cross bool) {
+	if cross {
+		c.crossRouted.Add(int64(n))
+	} else {
+		c.intraRouted.Add(int64(n))
+	}
+}
+
+// NoteCompose records one composite publication and which merge path
+// built it: the local-core gather (no cut edges) or the global peel.
+func (c *ShardCounters) NoteCompose(peeled bool) {
+	c.composes.Add(1)
+	if peeled {
+		c.peelMerges.Add(1)
+	} else {
+		c.gatherMerges.Add(1)
+	}
+}
+
+// SetEdgeGauges updates the cut-edge and total-edge gauges observed at a
+// compose barrier.
+func (c *ShardCounters) SetEdgeGauges(cut, total int64) {
+	c.cutEdges.Store(cut)
+	c.totalEdges.Store(total)
+}
+
+// Snapshot captures the counters.
+func (c *ShardCounters) Snapshot() ShardSnapshot {
+	return ShardSnapshot{
+		IntraRouted:  c.intraRouted.Load(),
+		CrossRouted:  c.crossRouted.Load(),
+		Composes:     c.composes.Load(),
+		GatherMerges: c.gatherMerges.Load(),
+		PeelMerges:   c.peelMerges.Load(),
+		CutEdges:     c.cutEdges.Load(),
+		TotalEdges:   c.totalEdges.Load(),
+	}
+}
+
+// ShardSnapshot is an immutable copy of a ShardCounters' state.
+type ShardSnapshot struct {
+	IntraRouted  int64 `json:"intra_shard_routed"`
+	CrossRouted  int64 `json:"cross_shard_routed"`
+	Composes     int64 `json:"composes"`
+	GatherMerges int64 `json:"gather_merges"`
+	PeelMerges   int64 `json:"peel_merges"`
+	CutEdges     int64 `json:"cut_edges"`
+	TotalEdges   int64 `json:"total_edges"`
+}
+
+// CrossShardUpdateRatio reports the fraction of routed updates that hit
+// the cut session, in [0,1]; 0 when nothing was routed.
+func (s ShardSnapshot) CrossShardUpdateRatio() float64 {
+	total := s.IntraRouted + s.CrossRouted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CrossRouted) / float64(total)
+}
+
+// CrossShardEdgeRatio reports the fraction of the graph's edges that are
+// cut edges as of the last compose, in [0,1]; 0 on an empty graph. It is
+// the partition-quality figure: 0 means every compose takes the
+// O(changed) gather path, anything above it forces global peels.
+func (s ShardSnapshot) CrossShardEdgeRatio() float64 {
+	if s.TotalEdges == 0 {
+		return 0
+	}
+	return float64(s.CutEdges) / float64(s.TotalEdges)
+}
+
+// ShardedSnapshot is the full observability view of a sharded engine:
+// the composite serving counters, the routing/compose counters, and the
+// per-writer serving counters (one per shard, the cut session last).
+type ShardedSnapshot struct {
+	Composite ServeSnapshot   `json:"composite"`
+	Routing   ShardSnapshot   `json:"routing"`
+	Shards    []ServeSnapshot `json:"shards"`
+}
