@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet doc bench bench-serve profile clean
+.PHONY: all test race vet doc bench bench-serve fuzz profile clean
 
 all: test vet
 
@@ -28,6 +28,15 @@ doc:
 # One pass over every benchmark, mainly as a does-it-run smoke check.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short exploratory burst on every native fuzz target (the checked-in
+# corpora already run under `make test`). Override FUZZTIME for longer
+# local hunts.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzShardedAgreesWithSingleEngine -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
+	$(GO) test -fuzz=FuzzComposeRepairMatchesFullPeel -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
+	$(GO) test -fuzz=FuzzMaintenanceSequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/maintain
 
 # Full serve benchmark grid — reader throughput, mixed workloads,
 # cached-vs-uncached memoized queries, and 1-vs-N-graph registry runs;

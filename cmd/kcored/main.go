@@ -9,15 +9,18 @@
 //
 // Usage:
 //
-//	kcored -graph /data/twitter -addr :8080 [-shards 4] [-load social=/data/social ...]
+//	kcored -graph /data/twitter -addr :8080 [-shards 4] [-partitioner ldg] [-load social=/data/social ...]
 //
 // The -graph flag names the default graph (served both at /g/default/...
 // and at the pre-registry single-graph routes); each -load name=path
 // flag opens an additional graph, and more can be added or dropped at
-// runtime through the /graphs admin endpoints (POST /graphs accepts a
-// per-graph "shards" option). -shards >= 2 serves every graph opened at
-// startup from that many parallel shard writers (internal/shard). See
-// internal/httpapi for the full route list.
+// runtime through the /graphs admin endpoints (POST /graphs accepts
+// per-graph "shards" and "partitioner" options). -shards >= 2 serves
+// every graph opened at startup from that many parallel shard writers
+// (internal/shard); -partitioner picks how nodes map to shards (hash,
+// range, or the locality-aware ldg), and POST /g/{name}/rebalance
+// recomputes that assignment online. See internal/httpapi for the full
+// route list.
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
 		shards    = flag.Int("shards", 1, "writers per graph: >= 2 shards every opened graph across that many parallel writers (plus a cut session for cross-shard edges); 1 keeps the single-writer engine")
+		parter    = flag.String("partitioner", "hash", "node partitioner for sharded graphs: hash, range, or ldg (locality-aware streaming assignment; shrinks the cross-shard edge ratio on clustered graphs)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux (see `make profile`); leave off in production")
 	)
 	extra := make(map[string]string)
@@ -83,13 +87,13 @@ func main() {
 	defer reg.Close()
 
 	fmt.Printf("kcored: decomposing %s\n", *graphBase)
-	eng, err := reg.OpenSharded(DefaultGraph, *graphBase, *shards)
+	eng, err := reg.OpenSharded(DefaultGraph, *graphBase, *shards, *parter)
 	if err != nil {
 		fatal(err)
 	}
 	for name, path := range extra {
 		fmt.Printf("kcored: decomposing %s (graph %q)\n", path, name)
-		if _, err := reg.OpenSharded(name, path, *shards); err != nil {
+		if _, err := reg.OpenSharded(name, path, *shards, *parter); err != nil {
 			fatal(err)
 		}
 	}

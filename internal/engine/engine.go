@@ -14,6 +14,7 @@ import (
 
 	"kcore"
 	"kcore/internal/serve"
+	"kcore/internal/shard"
 	"kcore/internal/stats"
 )
 
@@ -53,6 +54,14 @@ var _ Engine = (*serve.ConcurrentSession)(nil)
 // it. The HTTP layer surfaces it under /g/{name}/stats when present.
 type ShardStatser interface {
 	ShardStats() stats.ShardedSnapshot
+}
+
+// Rebalancer is the optional engine extension for partition maintenance:
+// sharded engines expose the locality-aware repartitioning operation
+// (internal/shard Rebalance) through it, and the HTTP layer mounts it at
+// POST /g/{name}/rebalance when present.
+type Rebalancer interface {
+	Rebalance() (shard.RebalanceReport, error)
 }
 
 var (

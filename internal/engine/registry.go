@@ -146,10 +146,12 @@ func (r *Registry) Open(name, base string) (Engine, error) {
 // a sharded multi-writer engine for it under name: the graph's edges are
 // scattered across `shards` per-shard writers plus a cut session
 // (internal/shard), and queries are served from composite epochs merged
-// across them. shards < 2 falls back to a plain single-writer Open. The
-// per-shard graphs are derived state in a temporary work directory owned
-// by the engine; the base graph is only read during the scatter.
-func (r *Registry) OpenSharded(name, base string, shards int) (Engine, error) {
+// across them. partitioner names the node-assignment strategy
+// (shard.PartitionerHash/Range/LDG; "" selects the hash). shards < 2
+// falls back to a plain single-writer Open. The per-shard graphs are
+// derived state in a temporary work directory owned by the engine; the
+// base graph is only read during the scatter.
+func (r *Registry) OpenSharded(name, base string, shards int, partitioner string) (Engine, error) {
 	if shards < 2 {
 		return r.Open(name, base)
 	}
@@ -163,10 +165,11 @@ func (r *Registry) OpenSharded(name, base string, shards int) (Engine, error) {
 	}
 	so := r.opts.Serve
 	eng, err := shard.New(g, &shard.Options{
-		Shards:   shards,
-		Serve:    so,
-		Open:     r.opts.Open,
-		Counters: new(stats.ServeCounters),
+		Shards:      shards,
+		Partitioner: partitioner,
+		Serve:       so,
+		Open:        r.opts.Open,
+		Counters:    new(stats.ServeCounters),
 	})
 	if cerr := g.Close(); cerr != nil && err == nil {
 		eng.Close() //nolint:errcheck // base close error wins

@@ -221,7 +221,7 @@ func TestRegistryOpenSharded(t *testing.T) {
 	defer reg.Close()
 
 	base := writeGraph(t, 140, 6)
-	eng, err := reg.OpenSharded("sharded", base, 3)
+	eng, err := reg.OpenSharded("sharded", base, 3, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestRegistryOpenSharded(t *testing.T) {
 		t.Fatalf("List = %+v, want one entry with Shards=3", infos)
 	}
 
-	plain, err := reg.OpenSharded("plain", base, 1)
+	plain, err := reg.OpenSharded("plain", base, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,13 +7,14 @@
 //
 //	GET    /healthz                     liveness + per-graph epochs
 //	GET    /graphs                      list registered graphs
-//	POST   /graphs                      open a graph: {"name":..,"path":..,"shards":N}
+//	POST   /graphs                      open a graph: {"name":..,"path":..,"shards":N,"partitioner":"ldg"}
 //	DELETE /graphs/{name}               drain and drop a graph
 //	GET    /g/{name}/core?v=7           core number of node 7
 //	GET    /g/{name}/kcore?k=3&limit=9  k-core members (memoized per epoch)
 //	GET    /g/{name}/degeneracy         kmax and k-core size profile
 //	GET    /g/{name}/stats              serving + I/O counters (+ per-shard block when sharded)
 //	POST   /g/{name}/update[?wait=1]    {"updates":[{"op":"insert","u":1,"v":2},..]}
+//	POST   /g/{name}/rebalance          locality-aware repartition (sharded graphs only)
 //
 // The single-graph routes from before the registry existed (/core,
 // /kcore, /degeneracy, /stats, /update) are kept as aliases for a
@@ -32,6 +33,7 @@ import (
 
 	"kcore/internal/engine"
 	"kcore/internal/serve"
+	"kcore/internal/shard"
 )
 
 // Server routes requests to engines resolved by graph name through a
@@ -60,6 +62,7 @@ func New(reg *engine.Registry, defaultGraph string) *Server {
 	s.mux.HandleFunc("GET /g/{name}/degeneracy", s.graph(handleDegeneracy))
 	s.mux.HandleFunc("GET /g/{name}/stats", s.graph(handleStats))
 	s.mux.HandleFunc("POST /g/{name}/update", s.graph(handleUpdate))
+	s.mux.HandleFunc("POST /g/{name}/rebalance", s.graph(handleRebalance))
 	s.mux.HandleFunc("GET /core", s.graph(handleCore))
 	s.mux.HandleFunc("GET /kcore", s.graph(handleKCore))
 	s.mux.HandleFunc("GET /degeneracy", s.graph(handleDegeneracy))
@@ -140,11 +143,14 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 // createGraphRequest is the body of POST /graphs. Shards >= 2 opens the
 // graph behind a sharded multi-writer engine (internal/shard); 0 or 1
-// selects the plain single-writer engine.
+// selects the plain single-writer engine. Partitioner selects the
+// node-assignment strategy for sharded opens: "hash" (default), "range",
+// or "ldg" (locality-aware streaming assignment).
 type createGraphRequest struct {
-	Name   string `json:"name"`
-	Path   string `json:"path"`
-	Shards int    `json:"shards,omitempty"`
+	Name        string `json:"name"`
+	Path        string `json:"path"`
+	Shards      int    `json:"shards,omitempty"`
+	Partitioner string `json:"partitioner,omitempty"`
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -161,7 +167,14 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "shards must be >= 0, got %d", req.Shards)
 		return
 	}
-	eng, err := s.reg.OpenSharded(req.Name, req.Path, req.Shards)
+	switch req.Partitioner {
+	case "", shard.PartitionerHash, shard.PartitionerRange, shard.PartitionerLDG:
+	default:
+		httpError(w, http.StatusBadRequest, "unknown partitioner %q (want %s, %s or %s)",
+			req.Partitioner, shard.PartitionerHash, shard.PartitionerRange, shard.PartitionerLDG)
+		return
+	}
+	eng, err := s.reg.OpenSharded(req.Name, req.Path, req.Shards, req.Partitioner)
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrExists):
@@ -276,6 +289,35 @@ func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 		resp["cross_shard_edge_ratio"] = shardStats.Routing.CrossShardEdgeRatio()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRebalance runs the locality-aware repartitioning of a sharded
+// engine: nodes are reassigned by the LDG/label-propagation partitioner
+// over the graph as served right now, and every edge whose owner changed
+// migrates between sessions through the normal update path. Responds
+// with the migration report (moved nodes, migrated edges, cut ratio
+// before/after); 400 for engines that are not sharded.
+func handleRebalance(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	rb, ok := eng.(engine.Rebalancer)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "graph is not sharded: nothing to rebalance")
+		return
+	}
+	rep, err := rb.Rebalance()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moved_nodes":                   rep.MovedNodes,
+		"migrated_edges":                rep.MigratedEdges,
+		"cut_edges_before":              rep.CutEdgesBefore,
+		"cut_edges_after":               rep.CutEdgesAfter,
+		"total_edges":                   rep.TotalEdges,
+		"cross_shard_edge_ratio_before": rep.CrossShardEdgeRatioBefore(),
+		"cross_shard_edge_ratio_after":  rep.CrossShardEdgeRatioAfter(),
+		"epoch":                         eng.Snapshot().Seq,
+	})
 }
 
 // updateRequest is the body of POST /update.

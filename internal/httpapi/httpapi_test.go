@@ -462,3 +462,66 @@ func TestShardedGraphOverHTTP(t *testing.T) {
 	var dropped map[string]any
 	do(t, "DELETE", ts.URL+"/graphs/sh", "", http.StatusOK, &dropped)
 }
+
+// TestRebalanceOverHTTP covers the locality-aware repartitioning
+// endpoint: a sharded graph opened with the (cut-heavy) hash partition
+// rebalances to a smaller cut and reports the migration; non-sharded
+// graphs answer 400; unknown partitioner names on create answer 400
+// while "ldg" works.
+func TestRebalanceOverHTTP(t *testing.T) {
+	ts, _ := newAPI(t)
+	base := writeGraph(t, 140, 81)
+
+	var created map[string]any
+	do(t, "POST", ts.URL+"/graphs",
+		fmt.Sprintf(`{"name":"sh","path":%q,"shards":3}`, base),
+		http.StatusCreated, &created)
+
+	var rep struct {
+		MovedNodes    int     `json:"moved_nodes"`
+		MigratedEdges int     `json:"migrated_edges"`
+		CutBefore     int64   `json:"cut_edges_before"`
+		CutAfter      int64   `json:"cut_edges_after"`
+		TotalEdges    int64   `json:"total_edges"`
+		RatioAfter    float64 `json:"cross_shard_edge_ratio_after"`
+		Epoch         uint64  `json:"epoch"`
+	}
+	do(t, "POST", ts.URL+"/g/sh/rebalance", "", http.StatusOK, &rep)
+	if rep.CutAfter >= rep.CutBefore {
+		t.Fatalf("rebalance did not shrink the cut: %d -> %d", rep.CutBefore, rep.CutAfter)
+	}
+	if rep.MovedNodes == 0 || rep.MigratedEdges == 0 || rep.TotalEdges == 0 {
+		t.Fatalf("rebalance report looks empty: %+v", rep)
+	}
+
+	// The rebalances counter surfaces in the sharded /stats block.
+	var st struct {
+		Shards struct {
+			Routing struct {
+				Rebalances    int64 `json:"rebalances"`
+				MigratedEdges int64 `json:"migrated_edges"`
+			} `json:"routing"`
+		} `json:"shards"`
+	}
+	do(t, "GET", ts.URL+"/g/sh/stats", "", http.StatusOK, &st)
+	if st.Shards.Routing.Rebalances != 1 || st.Shards.Routing.MigratedEdges != int64(rep.MigratedEdges) {
+		t.Fatalf("stats rebalance counters = %+v, want 1 rebalance / %d migrated edges",
+			st.Shards.Routing, rep.MigratedEdges)
+	}
+
+	// Non-sharded graphs have nothing to rebalance.
+	var e errResp
+	do(t, "POST", ts.URL+"/g/default/rebalance", "", http.StatusBadRequest, &e)
+	if e.Error == "" {
+		t.Fatal("rebalance of a plain graph returned no error body")
+	}
+
+	// Partitioner selection: unknown names rejected, ldg accepted.
+	do(t, "POST", ts.URL+"/graphs",
+		fmt.Sprintf(`{"name":"badpart","path":%q,"shards":2,"partitioner":"metis"}`, base),
+		http.StatusBadRequest, &e)
+	var ldg map[string]any
+	do(t, "POST", ts.URL+"/graphs",
+		fmt.Sprintf(`{"name":"ldg","path":%q,"shards":2,"partitioner":"ldg"}`, base),
+		http.StatusCreated, &ldg)
+}

@@ -1,12 +1,12 @@
 package maintain
 
 import (
-	"math/rand"
 	"testing"
 
 	"kcore/internal/dyngraph"
 	"kcore/internal/memgraph"
 	"kcore/internal/stats"
+	"kcore/internal/testutil"
 )
 
 // dirtyTracker drives a randomized mutation workload through one Session
@@ -59,40 +59,15 @@ func TestDirtySetIsSound(t *testing.T) {
 			}
 			s := newSessionFor(t, g, dyngraph.Options{})
 			d := newDirtyTracker(t, s)
-			n := g.NumNodes()
-			r := rand.New(rand.NewSource(811))
-
-			live := g.EdgeList()
-			has := make(map[uint64]bool, len(live))
-			key := func(u, v uint32) uint64 {
-				if u > v {
-					u, v = v, u
-				}
-				return uint64(u)<<32 | uint64(v)
-			}
-			for _, e := range live {
-				has[key(e.U, e.V)] = true
-			}
+			stream := testutil.NewMutationStream(g.NumNodes(), testutil.Seed(t, 811), g.EdgeList())
 			takeLive := func() memgraph.Edge {
-				i := r.Intn(len(live))
-				e := live[i]
-				live[i] = live[len(live)-1]
-				live = live[:len(live)-1]
-				delete(has, key(e.U, e.V))
+				e, ok := stream.TakeLive()
+				if !ok {
+					t.Fatal("mirror ran out of live edges")
+				}
 				return e
 			}
-			makeAbsent := func() memgraph.Edge {
-				for {
-					u, v := uint32(r.Intn(int(n))), uint32(r.Intn(int(n)))
-					if u == v || has[key(u, v)] {
-						continue
-					}
-					has[key(u, v)] = true
-					e := memgraph.Edge{U: u, V: v}
-					live = append(live, e)
-					return e
-				}
-			}
+			makeAbsent := stream.MakeAbsent
 
 			for step := 0; step < 40; step++ {
 				switch step % 5 {

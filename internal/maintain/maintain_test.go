@@ -11,6 +11,7 @@ import (
 	"kcore/internal/graphio"
 	"kcore/internal/memgraph"
 	"kcore/internal/stats"
+	"kcore/internal/testutil"
 	"kcore/internal/verify"
 )
 
@@ -180,31 +181,18 @@ func TestMaintenanceRandomChurn(t *testing.T) {
 			variant := variant
 			t.Run(name+"/"+variant, func(t *testing.T) {
 				s := newSessionFor(t, g, dyngraph.Options{})
-				shadow := map[[2]uint32]bool{}
-				g.Edges(func(e memgraph.Edge) error {
-					shadow[[2]uint32{e.U, e.V}] = true
-					return nil
-				})
 				n := g.NumNodes()
-				r := rand.New(rand.NewSource(77))
+				stream := testutil.NewMutationStream(n, testutil.Seed(t, 77), g.EdgeList())
 				for i := 0; i < 50; i++ {
-					u := uint32(r.Intn(int(n)))
-					v := uint32(r.Intn(int(n)))
-					if u == v {
-						continue
-					}
-					key := [2]uint32{min32(u, v), max32(u, v)}
+					mut := stream.NextValid()
+					u, v := mut.U, mut.V
 					var err error
-					if shadow[key] {
+					if mut.Op == testutil.OpDelete {
 						_, err = s.DeleteStar(u, v)
-						delete(shadow, key)
+					} else if variant == "two-phase" {
+						_, err = s.InsertTwoPhase(u, v)
 					} else {
-						if variant == "two-phase" {
-							_, err = s.InsertTwoPhase(u, v)
-						} else {
-							_, err = s.InsertStar(u, v)
-						}
-						shadow[key] = true
+						_, err = s.InsertStar(u, v)
 					}
 					if err != nil {
 						t.Fatalf("op %d (%d,%d): %v", i, u, v, err)
@@ -212,7 +200,7 @@ func TestMaintenanceRandomChurn(t *testing.T) {
 					if err := s.VerifyState(); err != nil {
 						t.Fatalf("op %d (%d,%d): %v", i, u, v, err)
 					}
-					want := referenceCores(t, n, shadow)
+					want := referenceCores(t, n, stream.Live())
 					for x := range want {
 						if s.Core()[x] != want[x] {
 							t.Fatalf("op %d (%d,%d): core(%d) = %d, want %d",
@@ -343,26 +331,14 @@ func TestDeleteInsertRoundTrip(t *testing.T) {
 func TestMaintenanceWithCompaction(t *testing.T) {
 	g := gen.Build(gen.ErdosRenyi(150, 500, 87))
 	s := newSessionFor(t, g, dyngraph.Options{BufferArcs: 16})
-	shadow := map[[2]uint32]bool{}
-	g.Edges(func(e memgraph.Edge) error {
-		shadow[[2]uint32{e.U, e.V}] = true
-		return nil
-	})
-	r := rand.New(rand.NewSource(88))
+	stream := testutil.NewMutationStream(150, testutil.Seed(t, 88), g.EdgeList())
 	for i := 0; i < 60; i++ {
-		u := uint32(r.Intn(150))
-		v := uint32(r.Intn(150))
-		if u == v {
-			continue
-		}
-		key := [2]uint32{min32(u, v), max32(u, v)}
+		mut := stream.NextValid()
 		var err error
-		if shadow[key] {
-			_, err = s.DeleteStar(u, v)
-			delete(shadow, key)
+		if mut.Op == testutil.OpDelete {
+			_, err = s.DeleteStar(mut.U, mut.V)
 		} else {
-			_, err = s.InsertStar(u, v)
-			shadow[key] = true
+			_, err = s.InsertStar(mut.U, mut.V)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -374,7 +350,7 @@ func TestMaintenanceWithCompaction(t *testing.T) {
 	if err := s.VerifyState(); err != nil {
 		t.Fatal(err)
 	}
-	want := referenceCores(t, 150, shadow)
+	want := referenceCores(t, 150, stream.Live())
 	for x := range want {
 		if s.Core()[x] != want[x] {
 			t.Fatalf("core(%d) = %d, want %d", x, s.Core()[x], want[x])
@@ -390,22 +366,15 @@ func TestMaintenanceWithCompaction(t *testing.T) {
 func TestTheoremDeltaBound(t *testing.T) {
 	g := gen.Build(gen.ErdosRenyi(200, 700, 89))
 	s := newSessionFor(t, g, dyngraph.Options{})
-	r := rand.New(rand.NewSource(90))
+	stream := testutil.NewMutationStream(200, testutil.Seed(t, 90), g.EdgeList())
 	for i := 0; i < 60; i++ {
 		before := append([]uint32(nil), s.Core()...)
-		u := uint32(r.Intn(200))
-		v := uint32(r.Intn(200))
-		if u == v {
-			continue
-		}
-		has, err := s.G.HasEdge(u, v)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if has {
-			_, err = s.DeleteStar(u, v)
+		mut := stream.NextValid()
+		var err error
+		if mut.Op == testutil.OpDelete {
+			_, err = s.DeleteStar(mut.U, mut.V)
 		} else {
-			_, err = s.InsertStar(u, v)
+			_, err = s.InsertStar(mut.U, mut.V)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -419,12 +388,8 @@ func TestTheoremDeltaBound(t *testing.T) {
 	}
 }
 
-func referenceCores(t *testing.T, n uint32, shadow map[[2]uint32]bool) []uint32 {
+func referenceCores(t *testing.T, n uint32, edges []memgraph.Edge) []uint32 {
 	t.Helper()
-	edges := make([]memgraph.Edge, 0, len(shadow))
-	for k := range shadow {
-		edges = append(edges, memgraph.Edge{U: k[0], V: k[1]})
-	}
 	g, err := memgraph.FromEdges(n, edges)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"kcore/internal/memgraph"
 	"kcore/internal/serve"
 	"kcore/internal/shard"
+	"kcore/internal/testutil"
 )
 
 // benchGraphNodes sizes the benchmark fixture: large enough that a
@@ -463,16 +464,137 @@ func BenchmarkServeLargeShardedWorkload(b *testing.B) {
 	}
 }
 
+// clusteredCutFixture caches the clustered-with-cut fixture: the 8-block
+// power-law RMAT graph of the sharded bench plus clusteredCutEdges
+// random cross-block edges — a realistic partitioned deployment whose
+// cut is small but permanently nonzero, so every compose runs in the cut
+// regime. This is the fixture the tentpole acceptance figure
+// (peel_repair_speedup) is measured on.
+const clusteredCutEdges = 64
+
+var clusteredCutFixture struct {
+	once   sync.Once
+	csr    *memgraph.CSR
+	blocks [][]kcore.Edge // per-block shard-local edges (the workers' update streams)
+}
+
+// openClusteredCutGraph opens the clustered-with-cut fixture and returns
+// the handle, the per-block shard-local edge lists, and the node count.
+func openClusteredCutGraph(tb testing.TB) (*kcore.Graph, [][]kcore.Edge, uint32) {
+	tb.Helper()
+	clusteredCutFixture.once.Do(func() {
+		blockNodes := uint32(1) << shardedBenchBlockScale
+		all := testutil.RMATBlocks(shardedBenchBlocks, shardedBenchBlockScale, 8, 83)
+		blocks := make([][]kcore.Edge, shardedBenchBlocks)
+		for _, e := range all {
+			if bl := e.U / blockNodes; bl == e.V/blockNodes {
+				blocks[bl] = append(blocks[bl], e)
+			}
+		}
+		all = append(all, testutil.CrossBlockEdges(shardedBenchBlocks, blockNodes, clusteredCutEdges, 97)...)
+		csr, err := memgraph.FromEdges(blockNodes*shardedBenchBlocks, all)
+		if err != nil {
+			panic(err)
+		}
+		clusteredCutFixture.csr, clusteredCutFixture.blocks = csr, blocks
+	})
+	csr := clusteredCutFixture.csr
+	base := filepath.Join(tb.TempDir(), "clustered-cut")
+	if err := graphio.WriteCSR(base, csr, nil); err != nil {
+		tb.Fatal(err)
+	}
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { g.Close() })
+	return g, clusteredCutFixture.blocks, csr.NumNodes()
+}
+
+// benchClusteredCut measures the cut-regime compose on the
+// clustered-with-cut ≥100k-node fixture: 8 workers (one per block) each
+// interleave 15 lock-free composite reads with one synchronous
+// shard-local deletion (Apply = enqueue + compose barrier), while the 64
+// cross-block edges keep the cut permanently nonzero — so every compose
+// runs in the cut regime. With fullPeel each of those composes rescans
+// and peels the whole union (the PR-4 baseline, O(n+m)); without it the
+// persistent union view repairs only the affected regions (O(changed)).
+// The ops/s ratio between the two is peel_repair_speedup in
+// BENCH_serve.json — the tentpole acceptance figure.
+func benchClusteredCut(b *testing.B, fullPeel bool) {
+	g, blocks, nodes := openClusteredCutGraph(b)
+	sh, err := shard.New(g, &shard.Options{
+		Shards:           shardedBenchBlocks,
+		Partition:        shard.RangePartition(nodes),
+		FullPeelComposes: fullPeel,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sh.Close()
+
+	const workers = shardedBenchBlocks
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % workers
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			own := blocks[w]
+			next := 0
+			v := uint32(w)
+			for i := 0; i < n; i++ {
+				if i%16 == 15 && next < len(own) {
+					e := own[next]
+					next++
+					if err := sh.Apply(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+						b.Errorf("apply: %v", err)
+						return
+					}
+					continue
+				}
+				snap := sh.Snapshot()
+				if _, err := snap.CoreOf(v % snap.NumNodes()); err != nil {
+					b.Error(err)
+					return
+				}
+				v += 13
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := sh.ShardStats().Routing
+	if st.CutEdges == 0 {
+		b.Fatal("clustered-cut fixture lost its cut: composes were not exercising the cut regime")
+	}
+	if !fullPeel && st.RepairMerges == 0 && st.Composes > 1 {
+		b.Fatal("repair engine never took the repair path")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.ReportMetric(float64(st.RepairMerges), "repair_merges")
+	b.ReportMetric(float64(st.PeelMerges), "peel_merges")
+}
+
+// BenchmarkServeClusteredCutWorkload compares the O(changed) repair
+// compose against the full-peel baseline on the clustered fixture with a
+// permanent nonzero cut.
+func BenchmarkServeClusteredCutWorkload(b *testing.B) {
+	b.Run("compose=repair", func(b *testing.B) { benchClusteredCut(b, false) })
+	b.Run("compose=fullpeel", func(b *testing.B) { benchClusteredCut(b, true) })
+}
+
 // writeBenchGraph materialises a graph fixture on disk for registry
 // benchmarks and returns its path prefix and edge list.
 func writeBenchGraph(tb testing.TB, n uint32, seed int64) (string, []kcore.Edge) {
 	tb.Helper()
-	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
-	base := filepath.Join(tb.TempDir(), fmt.Sprintf("g%d", seed))
-	if err := graphio.WriteCSR(base, csr, nil); err != nil {
-		tb.Fatal(err)
-	}
-	return base, csr.EdgeList()
+	base, edges := testutil.WriteSocial(tb, n, seed)
+	return base, edges
 }
 
 // multiGraphWorkers is the fixed worker-pool size of the multi-graph
@@ -665,6 +787,19 @@ func TestEmitServeBenchJSON(t *testing.T) {
 	}
 	t.Logf("sharded writer scaling (4 vs 1 shards): %.2fx on GOMAXPROCS=%d",
 		shardScaling, runtime.GOMAXPROCS(0))
+	// Cut-regime compose on the clustered-with-cut fixture: the same
+	// read-your-writes workload with the O(changed) union-view repair
+	// (the default) and with the forced full-peel baseline. Their ratio
+	// is the PR-5 tentpole acceptance figure.
+	repairBench := record("ServeClusteredCutWorkload/compose=repair", shardedBenchBlocks, "mixed",
+		func(b *testing.B) { benchClusteredCut(b, false) })
+	fullPeelBench := record("ServeClusteredCutWorkload/compose=fullpeel", shardedBenchBlocks, "mixed",
+		func(b *testing.B) { benchClusteredCut(b, true) })
+	peelRepairSpeedup := 0.0
+	if repairBench.NsPerOp > 0 {
+		peelRepairSpeedup = fullPeelBench.NsPerOp / repairBench.NsPerOp
+	}
+	t.Logf("cut-regime compose speedup (repair vs full peel): %.1fx", peelRepairSpeedup)
 	doc := map[string]any{
 		"benchmark":                 "serve",
 		"go":                        runtime.Version(),
@@ -675,6 +810,7 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		"kcore_cache_speedup":       speedup,
 		"publish_path_speedup":      publishSpeedup,
 		"sharded_writer_scaling_4x": shardScaling,
+		"peel_repair_speedup":       peelRepairSpeedup,
 		"results":                   entries,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

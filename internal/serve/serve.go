@@ -121,6 +121,14 @@ type Options struct {
 	// OnPublish, when non-nil, observes every published epoch from the
 	// writer goroutine (after the swap). Intended for tests.
 	OnPublish func(*Epoch)
+	// OnApply, when non-nil, observes every successfully applied flush
+	// from the writer goroutine: the net delete and insert batches, in
+	// the order they were applied (deletes first). Rejected and
+	// annihilated updates never appear. The slices are writer-owned
+	// scratch — the callback must copy anything it keeps. Composite
+	// engines (internal/shard) use this to patch their cross-shard union
+	// view incrementally instead of rescanning the per-session graphs.
+	OnApply func(deletes, inserts []kcore.Edge)
 }
 
 func (o Options) withDefaults() Options {

@@ -4,33 +4,27 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"kcore"
-	"kcore/internal/gen"
-	"kcore/internal/graphio"
 	"kcore/internal/serve"
+	"kcore/internal/testutil"
 )
 
 // openGraph materialises a deterministic social graph on disk and opens
 // it, returning the handle and its edge list.
 func openGraph(t testing.TB, n uint32, seed int64) (*kcore.Graph, []kcore.Edge) {
 	t.Helper()
-	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
-	base := filepath.Join(t.TempDir(), "g")
-	if err := graphio.WriteCSR(base, csr, nil); err != nil {
-		t.Fatal(err)
-	}
+	base, edges := testutil.WriteSocial(t, n, seed)
 	g, err := kcore.Open(base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { g.Close() })
-	return g, csr.EdgeList()
+	return g, edges
 }
 
 func coreChecksum(core []uint32) uint64 {
@@ -456,5 +450,65 @@ func TestAdaptiveBatchGrowsUnderPressure(t *testing.T) {
 	}
 	if st := sess.Stats(); st.AdaptiveBatch != 4 {
 		t.Fatalf("adaptive batch gauge = %d after drain, want decay back to 4", st.AdaptiveBatch)
+	}
+}
+
+// TestOnApplyReportsNetBatches pins the OnApply delta-feed contract the
+// sharded union view is built on: the callback sees exactly the applied
+// net batches, deletes before inserts, with rejected and annihilated
+// updates excluded.
+func TestOnApplyReportsNetBatches(t *testing.T) {
+	g, edges := openGraph(t, 120, 31)
+	type call struct{ deletes, inserts []kcore.Edge }
+	var mu sync.Mutex
+	var calls []call
+	sess, err := serve.New(g, &serve.Options{
+		OnApply: func(deletes, inserts []kcore.Edge) {
+			mu.Lock()
+			calls = append(calls, call{
+				deletes: append([]kcore.Edge(nil), deletes...),
+				inserts: append([]kcore.Edge(nil), inserts...),
+			})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	e0, e1 := edges[0], edges[1]
+	// One flush: a real delete, a duplicate insert (rejected), and an
+	// annihilating toggle on e1.
+	err = sess.Apply(
+		serve.Update{Op: serve.OpDelete, U: e0.U, V: e0.V},
+		serve.Update{Op: serve.OpInsert, U: e1.U, V: e1.V}, // duplicate: rejected
+		serve.Update{Op: serve.OpDelete, U: e1.U, V: e1.V}, // toggle pair with the next:
+		serve.Update{Op: serve.OpInsert, U: e1.U, V: e1.V}, // annihilates, never applied
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) == 0 {
+		t.Fatal("OnApply never fired for an applied flush")
+	}
+	var dels, ins int
+	for _, c := range calls {
+		dels += len(c.deletes)
+		ins += len(c.inserts)
+		for _, d := range c.deletes {
+			if d == (kcore.Edge{U: min(e1.U, e1.V), V: max(e1.U, e1.V)}) {
+				t.Fatal("annihilated edge leaked into the OnApply delete batch")
+			}
+		}
+	}
+	st := sess.Stats()
+	if int64(dels+ins) != st.Applied {
+		t.Fatalf("OnApply reported %d ops, applied counter says %d", dels+ins, st.Applied)
+	}
+	if st.Annihilated != 2 || st.Rejected == 0 {
+		t.Fatalf("fixture did not exercise annihilation+rejection: %+v", st)
 	}
 }

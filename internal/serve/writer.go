@@ -217,6 +217,9 @@ func (s *ConcurrentSession) flush(pending []Update) {
 		return
 	}
 	if applied > 0 {
+		if s.opts.OnApply != nil {
+			s.opts.OnApply(deletes, inserts)
+		}
 		s.publishDelta(applied, dirty)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"kcore/internal/imcore"
 	"kcore/internal/memgraph"
 	"kcore/internal/serve"
+	"kcore/internal/stats"
 )
 
 // syncSessions runs the read-your-writes barrier on every session in
@@ -40,15 +41,27 @@ func (s *Sharded) syncSessions() error {
 // are pairwise edge-disjoint by the owner rule).
 //
 // Merge regimes (see the package comment for the exactness argument):
-// with no cut edges the composite cores are gathered from the per-shard
-// locals — incrementally (O(changed)) when every session reported its
-// dirty sets since the last compose and the previous compose was itself
-// a gather, O(n) otherwise; with cut edges present the quiescent graphs
-// are scanned into one CSR and peeled globally (O(n+m), exact for any
-// cut ratio). Either way the snapshot is built copy-on-write against the
-// previous composite epoch when a sound dirty set is in hand, and the
-// epoch's memo repairs from its predecessor's exactly as single-session
-// epochs do.
+//
+//   - No cut edges: the composite cores are gathered from the per-shard
+//     locals — incrementally (O(changed)) when every session reported
+//     its dirty sets since the last compose and the previous compose
+//     trusted its locals, O(n) otherwise.
+//
+//   - Cut edges, union view alive, delta within the dirt threshold: the
+//     previous composite's cores are repaired in place by replaying the
+//     accumulated edge deltas through the region-bounded maintenance of
+//     internal/imcore — O(affected regions), not O(n+m).
+//
+//   - Cut edges otherwise (first cut compose, overflowed delta feed,
+//     delta past the threshold, FullPeelComposes): the quiescent graphs
+//     are scanned into one CSR and peeled globally — O(n+m), exact for
+//     any cut ratio, and (unless in baseline mode) the scan seeds the
+//     union view so the next cut compose can repair.
+//
+// Either way the snapshot is built copy-on-write against the previous
+// composite epoch when a sound dirty set is in hand, and the epoch's
+// memo repairs from its predecessor's exactly as single-session epochs
+// do.
 func (s *Sharded) composeLocked() error {
 	routed := s.routed.Load()
 	if err := s.syncSessions(); err != nil {
@@ -66,10 +79,14 @@ func (s *Sharded) composeLocked() error {
 	}
 	cutEdges := epochs[s.nshards].NumEdges
 
-	// Drain the per-session dirty accumulators (their writers are idle
-	// behind the barrier, but OnPublish appends under acc.mu, so take it).
+	// Drain the per-session accumulators (their writers are idle behind
+	// the barrier, but OnPublish/OnApply append under acc.mu, so take
+	// it): the dirty node sets feed the gather path, the edge deltas
+	// feed the union view.
 	dirty := s.scratchDirty[:0]
 	dirtyKnown := true
+	ops := s.scratchOps[:0]
+	opsKnown := true
 	for i := range s.acc {
 		a := &s.acc[i]
 		a.mu.Lock()
@@ -83,18 +100,35 @@ func (s *Sharded) composeLocked() error {
 		}
 		a.nodes = a.nodes[:0]
 		a.unknown = false
+		if a.overflow {
+			opsKnown = false
+		}
+		// Per-session order is preserved; sessions own disjoint edges,
+		// so concatenating the per-session runs is a valid replay order.
+		ops = append(ops, a.ops...)
+		a.ops = a.ops[:0]
+		a.overflow = false
 		a.mu.Unlock()
 	}
 	s.scratchDirty = dirty
+	s.scratchOps = ops
+	if !opsKnown {
+		// The delta feed dropped ops: the union view can no longer be
+		// trusted. Drop it; the next cut compose rebuilds from a scan.
+		s.union = nil
+	}
 
 	prev := s.cur.Load()
 	var snap *kcore.CoreSnapshot
 	var epochDirty []uint32
-	peeled := false
+	path := stats.ComposeGather
 	switch {
 	case cutEdges == 0 && prev != nil && s.localsPure && dirtyKnown:
 		// Incremental gather: only nodes some session reported dirty can
-		// have changed their (local == global) core number.
+		// have changed their (local == global) core number. The union
+		// view, if alive, needs only its adjacency patched — the gather
+		// keeps its cores (aliases of s.cores) exact for free.
+		s.patchUnionGraph(ops)
 		for _, v := range dirty {
 			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
 		}
@@ -105,27 +139,53 @@ func (s *Sharded) composeLocked() error {
 		snap, _ = prev.CoreSnapshot.WithUpdates(s.cores, epochDirty, totalEdges)
 	case cutEdges == 0:
 		// Full gather: locals are exact but the incremental view is not
-		// trusted (first compose, post-peel, or a lost dirty set).
+		// trusted (first compose, post-peel, post-rebalance, or a lost
+		// dirty set).
+		s.patchUnionGraph(ops)
 		for v := uint32(0); v < s.n; v++ {
 			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
 		}
 		snap = kcore.SnapshotFromCores(s.cores, totalEdges)
+	case s.union != nil && prev != nil && len(ops) <= s.repairLimit(totalEdges):
+		// Cut edges present, union view alive, delta under the dirt
+		// threshold: O(changed) region repair of the previous
+		// composite's cores around the touched edges.
+		changed, err := s.repairUnion(ops)
+		if err != nil {
+			// The view diverged from the sessions (should not happen;
+			// defensive): drop it and recover through the exact peel,
+			// which recomputes from the real graphs and so masks any
+			// partial mutation the failed replay left in s.cores.
+			s.union = nil
+			if snap, epochDirty, err = s.peel(prev, totalEdges); err != nil {
+				return err
+			}
+			path = stats.ComposePeel
+			break
+		}
+		s.sctr.NoteRepair(len(ops), len(changed))
+		// Superset semantics: changed may repeat nodes or include nodes
+		// whose net core change is zero; WithUpdates and the memo repair
+		// both tolerate that. Non-nil even when empty, as in the gather.
+		epochDirty = append(make([]uint32, 0, len(changed)), changed...)
+		snap, _ = prev.CoreSnapshot.WithUpdates(s.cores, epochDirty, totalEdges)
+		path = stats.ComposeRepair
 	default:
 		// Cut edges present: exact global peel over the union graph.
-		peeled = true
 		var err error
 		if snap, epochDirty, err = s.peel(prev, totalEdges); err != nil {
 			return err
 		}
+		path = stats.ComposePeel
 	}
-	s.localsPure = !peeled
+	s.localsPure = path == stats.ComposeGather
 
 	e := serve.ComposeEpoch(prev, snap, s.seq, uint64(applied), epochDirty, s.ctr)
 	s.seq++
 	s.cur.Store(e)
 	s.composedUpTo = routed
 	s.ctr.NotePublish(e.Seq, snap.TakenAt)
-	s.sctr.NoteCompose(peeled)
+	s.sctr.NoteCompose(path)
 	s.sctr.SetEdgeGauges(cutEdges, totalEdges)
 	return nil
 }
@@ -133,9 +193,11 @@ func (s *Sharded) composeLocked() error {
 // peel computes the exact global decomposition by scanning the quiescent
 // per-session graphs into one in-memory CSR and running the linear-time
 // bin-sort peel over their union, then diffs the result against the
-// previous composite cores so the snapshot can still be built
+// previous composite epoch so the snapshot can still be built
 // copy-on-write. Reports the snapshot and the exact changed-node set
-// (nil when prev is absent).
+// (nil when prev is absent). Unless the engine is in FullPeelComposes
+// (baseline/oracle) mode, the scanned CSR also seeds the persistent
+// union view, so the *next* cut compose pays O(changed) instead.
 func (s *Sharded) peel(prev *serve.Epoch, totalEdges int64) (*kcore.CoreSnapshot, []uint32, error) {
 	edges := make([]memgraph.Edge, 0, totalEdges)
 	for i, g := range s.graphs {
@@ -154,15 +216,24 @@ func (s *Sharded) peel(prev *serve.Epoch, totalEdges int64) (*kcore.CoreSnapshot
 	res := imcore.Decompose(csr, nil)
 	if prev == nil {
 		copy(s.cores, res.Core)
+		if !s.fullPeel {
+			s.buildUnionView(csr)
+		}
 		snap := kcore.SnapshotFromCores(s.cores, totalEdges)
 		return snap, nil, nil
 	}
+	// Diff against the previous *epoch* (not s.cores, which a failed
+	// repair replay may have partially mutated) so the dirty set is a
+	// sound superset of what the copy-on-write snapshot must rewrite.
 	var changed []uint32
 	for v := uint32(0); v < s.n; v++ {
-		if s.cores[v] != res.Core[v] {
+		if prev.CoreAt(v) != res.Core[v] {
 			changed = append(changed, v)
-			s.cores[v] = res.Core[v]
 		}
+		s.cores[v] = res.Core[v]
+	}
+	if !s.fullPeel {
+		s.buildUnionView(csr)
 	}
 	snap, _ := prev.CoreSnapshot.WithUpdates(s.cores, changed, totalEdges)
 	return snap, changed, nil

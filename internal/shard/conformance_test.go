@@ -2,46 +2,49 @@ package shard_test
 
 import (
 	"math/rand"
-	"path/filepath"
 	"testing"
 
 	"kcore"
 	"kcore/internal/gen"
-	"kcore/internal/graphio"
 	"kcore/internal/serve"
 	"kcore/internal/shard"
+	"kcore/internal/testutil"
 )
 
 // openTestGraph materialises a deterministic social graph on disk and
 // opens it, returning the handle and its edge list.
 func openTestGraph(t testing.TB, n uint32, seed int64) (*kcore.Graph, []kcore.Edge) {
 	t.Helper()
-	csr := gen.Build(gen.Social(n, 3, 8, 8, seed))
-	base := filepath.Join(t.TempDir(), "g")
-	if err := graphio.WriteCSR(base, csr, nil); err != nil {
-		t.Fatal(err)
-	}
+	base, edges := testutil.WriteSocial(t, n, seed)
+	return openBase(t, base), edges
+}
+
+// openBase opens a graph written by one of the testutil fixtures and
+// ties its lifetime to the test.
+func openBase(t testing.TB, base string) *kcore.Graph {
+	t.Helper()
 	g, err := kcore.Open(base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { g.Close() })
-	return g, csr.EdgeList()
+	return g
 }
 
 // socialEdges regenerates the raw fixture edge stream openTestGraph was
 // built from (a superset of the deduplicated on-disk graph — duplicates
 // and self-loops are dropped at build time).
 func socialEdges(n uint32, seed int64) []kcore.Edge {
-	return gen.Social(n, 3, 8, 8, seed)
+	return testutil.SocialEdges(n, seed)
 }
 
-// edgeKey canonicalises an undirected edge for the mirror set.
-func edgeKey(u, v uint32) uint64 {
-	if u > v {
-		u, v = v, u
+// toUpdate converts a generated mutation into a serving-layer update.
+func toUpdate(m testutil.Mutation) serve.Update {
+	op := serve.OpInsert
+	if m.Op == testutil.OpDelete {
+		op = serve.OpDelete
 	}
-	return uint64(u)<<32 | uint64(v)
+	return serve.Update{Op: op, U: m.U, V: m.V}
 }
 
 // compareEpochs fails the test unless the sharded composite epoch agrees
@@ -80,18 +83,21 @@ func compareEpochs(t *testing.T, round int, got, want *serve.Epoch) {
 	}
 }
 
-// runConformance drives the same randomized mutation workload through a
-// Sharded engine and a single-engine ConcurrentSession on an identical
-// graph, comparing full decompositions after every Sync. The workload
-// mixes valid inserts/deletes with invalid updates (duplicates, absent
-// deletes, self-loops, out-of-range ids) and checks read-your-writes:
-// the snapshot taken right after Sync must reflect the mirror's exact
-// edge count.
-func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint32, int) int, seed int64) {
+// runConformance drives the same randomized mutation workload (the
+// testutil standard stream: valid inserts/deletes mixed with duplicates,
+// absent deletes, self-loops and out-of-range ids) through a Sharded
+// engine and a single-engine ConcurrentSession on an identical graph,
+// comparing full decompositions after every Sync and checking
+// read-your-writes against the stream's mirror. Extra shard options
+// (beyond Shards/Partition) come from opts.
+func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint32, int) int, seed int64, opts shard.Options) {
+	seed = testutil.Seed(t, seed)
 	gShard, edges := openTestGraph(t, nodes, seed)
 	gSingle, _ := openTestGraph(t, nodes, seed)
 
-	sh, err := shard.New(gShard, &shard.Options{Shards: shards, Partition: partition})
+	opts.Shards = shards
+	opts.Partition = partition
+	sh, err := shard.New(gShard, &opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,47 +108,11 @@ func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint3
 	}
 	defer single.Close()
 
-	present := make(map[uint64]bool, len(edges))
-	for _, e := range edges {
-		present[edgeKey(e.U, e.V)] = true
-	}
-	var live []kcore.Edge // edges currently present (mirror)
-	live = append(live, edges...)
-
-	r := rand.New(rand.NewSource(seed))
+	stream := testutil.NewMutationStream(nodes, seed, edges)
 	const rounds, opsPerRound = 12, 160
 	for round := 0; round < rounds; round++ {
 		for i := 0; i < opsPerRound; i++ {
-			var up serve.Update
-			switch c := r.Intn(10); {
-			case c < 4 && len(live) > 0: // delete a live edge
-				j := r.Intn(len(live))
-				e := live[j]
-				live[j] = live[len(live)-1]
-				live = live[:len(live)-1]
-				present[edgeKey(e.U, e.V)] = false
-				up = serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}
-			case c < 8: // insert a random (possibly duplicate) edge
-				u, v := uint32(r.Intn(int(nodes))), uint32(r.Intn(int(nodes)))
-				up = serve.Update{Op: serve.OpInsert, U: u, V: v}
-				if u != v && !present[edgeKey(u, v)] {
-					present[edgeKey(u, v)] = true
-					live = append(live, kcore.Edge{U: min(u, v), V: max(u, v)})
-				}
-			case c == 8: // invalid: self-loop or out-of-range
-				if r.Intn(2) == 0 {
-					v := uint32(r.Intn(int(nodes)))
-					up = serve.Update{Op: serve.OpInsert, U: v, V: v}
-				} else {
-					up = serve.Update{Op: serve.OpDelete, U: nodes + 17, V: 0}
-				}
-			default: // invalid: delete an absent edge
-				u, v := uint32(r.Intn(int(nodes))), uint32(r.Intn(int(nodes)))
-				if u != v && present[edgeKey(u, v)] {
-					continue
-				}
-				up = serve.Update{Op: serve.OpDelete, U: u, V: v}
-			}
+			up := toUpdate(stream.Next())
 			if err := sh.Enqueue(up); err != nil {
 				t.Fatal(err)
 			}
@@ -157,9 +127,9 @@ func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint3
 			t.Fatal(err)
 		}
 		got, want := sh.Snapshot(), single.Snapshot()
-		if got.NumEdges != int64(len(live)) {
+		if got.NumEdges != int64(stream.LiveCount()) {
 			t.Fatalf("round %d: read-your-writes violated: %d edges after Sync, mirror has %d",
-				round, got.NumEdges, len(live))
+				round, got.NumEdges, stream.LiveCount())
 		}
 		compareEpochs(t, round, got, want)
 	}
@@ -167,51 +137,51 @@ func runConformance(t *testing.T, nodes uint32, shards int, partition func(uint3
 
 // TestShardedConformanceAdversarialCut is the acceptance test: 3 shards
 // under the default hash partition of a social graph, where most edges
-// are cross-shard (the adversarial regime) — every compose must take the
-// global-peel path and still agree exactly with an independent
-// single-engine maintenance run.
+// are cross-shard (the adversarial regime) — every compose runs in the
+// cut regime (one seeding peel, then O(changed) repairs) and must still
+// agree exactly with an independent single-engine maintenance run.
 func TestShardedConformanceAdversarialCut(t *testing.T) {
-	runConformance(t, 220, 3, nil, 7)
-	runConformance(t, 150, 3, nil, 8)
+	runConformance(t, 220, 3, nil, 7, shard.Options{})
+	runConformance(t, 150, 3, nil, 8, shard.Options{})
+}
+
+// TestShardedConformanceAdversarialCutFullPeel pins the PR-4 oracle: the
+// same adversarial workload with FullPeelComposes, so every cut compose
+// scans and peels from scratch. The repair path is benchmarked and
+// fuzzed against this mode; keeping it conformant keeps the oracle
+// honest.
+func TestShardedConformanceAdversarialCutFullPeel(t *testing.T) {
+	runConformance(t, 180, 3, nil, 9, shard.Options{FullPeelComposes: true})
+}
+
+// TestShardedConformanceRepairFallback forces the repair path's dirt
+// threshold to one edge, so nearly every cut compose overflows into the
+// full-peel fallback mid-stream — the repair→fallback regime transition
+// — and must stay exact throughout.
+func TestShardedConformanceRepairFallback(t *testing.T) {
+	runConformance(t, 160, 3, nil, 10, shard.Options{RepairMaxEdges: 1})
 }
 
 // TestShardedConformanceMixedCut uses a range partition, so the workload
-// crosses between the gather regime (few or no cut edges) and the peel
-// regime as random edges land across block boundaries.
+// crosses between the gather regime (few or no cut edges) and the
+// repair/peel regime as random edges land across block boundaries.
 func TestShardedConformanceMixedCut(t *testing.T) {
-	runConformance(t, 200, 4, shard.RangePartition(200), 11)
+	runConformance(t, 200, 4, shard.RangePartition(200), 11, shard.Options{})
 }
 
 // TestShardedConformanceCutFree keeps every edge inside one shard (a
 // partition-aligned workload on a block-diagonal graph), pinning the
-// gather fast path: no compose may ever fall back to the global peel.
+// gather fast path: no compose may ever fall back to the global peel or
+// the region repair.
 func TestShardedConformanceCutFree(t *testing.T) {
 	const blocks = 3
 	const blockNodes = 70
 	const nodes = blocks * blockNodes
-	// Block-diagonal fixture: `blocks` independent social graphs on
-	// contiguous id ranges.
-	var edges []kcore.Edge
-	for bl := 0; bl < blocks; bl++ {
-		off := uint32(bl * blockNodes)
-		for _, e := range gen.Social(blockNodes, 3, 6, 6, int64(30+bl)) {
-			edges = append(edges, kcore.Edge{U: e.U + off, V: e.V + off})
-		}
-	}
-	base := filepath.Join(t.TempDir(), "blockdiag")
-	if err := kcore.Build(base, kcore.SliceEdges(edges), &kcore.BuildOptions{NumNodes: nodes}); err != nil {
-		t.Fatal(err)
-	}
-	gShard, err := kcore.Open(base, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer gShard.Close()
-	gSingle, err := kcore.Open(base, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer gSingle.Close()
+	seed := testutil.Seed(t, 91)
+	edges := testutil.BlockDiagonalSocial(blocks, blockNodes, 30)
+	base := testutil.WriteEdges(t, nodes, edges)
+	gShard := openBase(t, base)
+	gSingle := openBase(t, base)
 
 	part := shard.RangePartition(nodes)
 	sh, err := shard.New(gShard, &shard.Options{Shards: blocks, Partition: part})
@@ -225,15 +195,13 @@ func TestShardedConformanceCutFree(t *testing.T) {
 	}
 	defer single.Close()
 
-	r := rand.New(rand.NewSource(91))
+	rr := newBlockLocalRand(seed)
 	for round := 0; round < 8; round++ {
 		for i := 0; i < 120; i++ {
 			// Shard-local random pair: both endpoints from one block.
-			bl := r.Intn(blocks)
-			u := uint32(bl*blockNodes + r.Intn(blockNodes))
-			v := uint32(bl*blockNodes + r.Intn(blockNodes))
+			u, v, del := rr.next(blocks, blockNodes)
 			op := serve.OpInsert
-			if r.Intn(2) == 0 {
+			if del {
 				op = serve.OpDelete
 			}
 			up := serve.Update{Op: op, U: u, V: v}
@@ -253,9 +221,9 @@ func TestShardedConformanceCutFree(t *testing.T) {
 		compareEpochs(t, round, sh.Snapshot(), single.Snapshot())
 	}
 	st := sh.ShardStats()
-	if st.Routing.PeelMerges != 0 {
-		t.Errorf("cut-free workload took %d peel merges, want 0 (gathers: %d)",
-			st.Routing.PeelMerges, st.Routing.GatherMerges)
+	if st.Routing.PeelMerges != 0 || st.Routing.RepairMerges != 0 {
+		t.Errorf("cut-free workload took %d peel and %d repair merges, want 0 (gathers: %d)",
+			st.Routing.PeelMerges, st.Routing.RepairMerges, st.Routing.GatherMerges)
 	}
 	if st.Routing.CrossRouted != 0 {
 		t.Errorf("cut-free workload routed %d updates to the cut session, want 0", st.Routing.CrossRouted)
@@ -266,11 +234,11 @@ func TestShardedConformanceCutFree(t *testing.T) {
 }
 
 // TestShardedRegimeTransitions walks the engine through
-// gather -> peel -> gather: cut edges are inserted (forcing global
-// peels), verified, then deleted again — the compose after their removal
-// must return to the gather path and still be exact. This pins the
-// localsPure bookkeeping: after a peel, locals are re-trusted only via a
-// full regather.
+// gather -> cut -> gather: cut edges are inserted (the first cut compose
+// must seed via a full peel), verified, then deleted again — the compose
+// after their removal must return to the gather path and still be exact.
+// This pins the localsPure bookkeeping: after a cut-regime compose,
+// locals are re-trusted only via a full regather.
 func TestShardedRegimeTransitions(t *testing.T) {
 	const nodes = 180
 	gShard, _ := openTestGraph(t, nodes, 5)
@@ -312,7 +280,7 @@ func TestShardedRegimeTransitions(t *testing.T) {
 	// composes must now gather, exactly.
 	st := sh.ShardStats()
 	if st.Routing.PeelMerges == 0 {
-		t.Fatalf("expected at least one peel merge after inserting cut edges")
+		t.Fatalf("expected at least one full peel to seed the union view in the cut regime")
 	}
 	var drop []serve.Update
 	for _, e := range cutEdges {
@@ -332,11 +300,84 @@ func TestShardedRegimeTransitions(t *testing.T) {
 		t.Fatalf("cut edges after dropping them all = %d, want 0", cut)
 	}
 
-	peelsBefore := sh.ShardStats().Routing.PeelMerges
+	before := sh.ShardStats().Routing
 	apply(serve.Update{Op: serve.OpDelete, U: 10, V: 11}, serve.Update{Op: serve.OpInsert, U: 10, V: 12})
 	apply(serve.Update{Op: serve.OpInsert, U: 10, V: 11})
 	compareEpochs(t, 2, sh.Snapshot(), single.Snapshot())
-	if peels := sh.ShardStats().Routing.PeelMerges; peels != peelsBefore {
-		t.Errorf("shard-local updates on a cut-free graph took %d extra peel merges, want 0", peels-peelsBefore)
+	after := sh.ShardStats().Routing
+	if after.PeelMerges != before.PeelMerges || after.RepairMerges != before.RepairMerges {
+		t.Errorf("shard-local updates on a cut-free graph took %d extra peel and %d extra repair merges, want 0",
+			after.PeelMerges-before.PeelMerges, after.RepairMerges-before.RepairMerges)
+	}
+}
+
+// TestComposeRepairActuallyRepairs asserts the cost model the tentpole
+// promises: under a sustained cut-regime workload, exactly one compose
+// pays the full peel (seeding the union view) and every later one runs
+// the O(changed) region repair, with the replayed delta accounted in the
+// repair counters.
+func TestComposeRepairActuallyRepairs(t *testing.T) {
+	const nodes = 200
+	g, _ := openTestGraph(t, nodes, 17)
+	sh, err := shard.New(g, &shard.Options{Shards: 3}) // hash partition: permanent cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	if p := sh.ShardStats().Routing.PeelMerges; p != 1 {
+		t.Fatalf("composes at New: peel merges = %d, want exactly 1 (the union-view seed)", p)
+	}
+	stream := testutil.NewMutationStream(nodes, testutil.Seed(t, 17), socialEdges(nodes, 17))
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 40; i++ {
+			if err := sh.Enqueue(toUpdate(stream.Next())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sh.ShardStats().Routing
+	if st.PeelMerges != 1 {
+		t.Errorf("full peels after steady-state cut workload = %d, want 1", st.PeelMerges)
+	}
+	if st.RepairMerges == 0 {
+		t.Error("no repair merges recorded under a cut-regime workload")
+	}
+	if st.RepairEdgesSum == 0 {
+		t.Error("repair merges recorded but no replayed delta edges accounted")
+	}
+}
+
+// blockLocalRand generates block-local random pairs (the cut-free
+// workload shape) deterministically.
+type blockLocalRand struct{ r *rand.Rand }
+
+func newBlockLocalRand(seed int64) *blockLocalRand {
+	return &blockLocalRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (b *blockLocalRand) next(blocks int, blockNodes uint32) (u, v uint32, del bool) {
+	bl := uint32(b.r.Intn(blocks))
+	u = bl*blockNodes + uint32(b.r.Intn(int(blockNodes)))
+	v = bl*blockNodes + uint32(b.r.Intn(int(blockNodes)))
+	return u, v, b.r.Intn(2) == 0
+}
+
+// TestMutationStreamDeterminism pins the replayability contract: the
+// same seed must yield the identical stream.
+func TestMutationStreamDeterminism(t *testing.T) {
+	edges := gen.Social(64, 3, 4, 5, 3)
+	a := testutil.NewMutationStream(64, 42, edges)
+	b := testutil.NewMutationStream(64, 42, edges)
+	for i := 0; i < 500; i++ {
+		if ma, mb := a.Next(), b.Next(); ma != mb {
+			t.Fatalf("op %d: streams diverge: %+v vs %+v", i, ma, mb)
+		}
+	}
+	if a.LiveCount() != b.LiveCount() {
+		t.Fatalf("mirrors diverge: %d vs %d live edges", a.LiveCount(), b.LiveCount())
 	}
 }

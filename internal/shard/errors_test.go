@@ -1,0 +1,256 @@
+package shard_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/testutil"
+)
+
+// TestSyncRacesClose hammers Sync (and Enqueue) from many goroutines
+// while Close runs: every call must return either success or ErrClosed —
+// never a deadlock, a panic, or a torn state — and the last composite
+// epoch must stay readable. Run under -race, this is the lifecycle
+// seam's data-race probe.
+func TestSyncRacesClose(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		g, edges := openTestGraph(t, 120, int64(31+round))
+		sh, err := shard.New(g, &shard.Options{Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 20; j++ {
+					if err := sh.Sync(); err != nil {
+						if !errors.Is(err, serve.ErrClosed) {
+							t.Errorf("Sync during Close: %v", err)
+						}
+						return
+					}
+				}
+			}(i)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for j, e := range edges[i*8 : i*8+8] {
+					op := serve.OpDelete
+					if j%2 == 1 {
+						op = serve.OpInsert
+					}
+					if err := sh.Enqueue(serve.Update{Op: op, U: e.U, V: e.V}); err != nil {
+						if !errors.Is(err, serve.ErrClosed) {
+							t.Errorf("Enqueue during Close: %v", err)
+						}
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := sh.Close(); err != nil && !errors.Is(err, serve.ErrClosed) {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		if sh.Snapshot() == nil {
+			t.Fatal("no readable epoch after the race")
+		}
+		// Idempotent follow-ups on the now-closed engine.
+		if err := sh.Sync(); !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+		}
+		if _, err := sh.Rebalance(); !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("Rebalance after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestEnqueueDuringComposeFreeze pins the route/compose seam: updates
+// enqueued while composes are running (the freeze) must neither be lost
+// nor double-applied. Worker-owned toggle streams make the final state
+// deterministic, so it is compared against a single engine fed the same
+// per-worker sequences.
+func TestEnqueueDuringComposeFreeze(t *testing.T) {
+	const nodes = 180
+	seed := testutil.Seed(t, 37)
+	gShard, edges := openTestGraph(t, nodes, seed)
+	gSingle, _ := openTestGraph(t, nodes, seed)
+	sh, err := shard.New(gShard, &shard.Options{Shards: 3, Serve: serve.Options{MaxBatch: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	const workers = 4
+	const opsPerWorker = 240
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Worker-owned slice: per-edge update order is preserved per
+			// worker, so the final state is independent of interleaving.
+			own := edges[w*len(edges)/workers : (w+1)*len(edges)/workers]
+			for i := 0; i < opsPerWorker; i++ {
+				e := own[i%len(own)]
+				op := serve.OpDelete
+				if (i/len(own))%2 == 1 {
+					op = serve.OpInsert
+				}
+				up := serve.Update{Op: op, U: e.U, V: e.V}
+				if err := sh.Enqueue(up); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				if err := single.Enqueue(up); err != nil {
+					t.Errorf("single enqueue: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent composes: every Sync freezes routing, so enqueues above
+	// constantly race the freeze.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 15; j++ {
+				if err := sh.Sync(); err != nil {
+					t.Errorf("sync: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Enqueued != workers*opsPerWorker {
+		t.Fatalf("enqueued = %d, want %d", st.Enqueued, workers*opsPerWorker)
+	}
+	if st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+	compareEpochs(t, 0, sh.Snapshot(), single.Snapshot())
+}
+
+// TestRebalanceConcurrentWithWorkload runs Rebalance in the middle of a
+// live mixed workload — concurrent enqueuers, lock-free readers, and
+// sync callers — and demands the end state still agree exactly with an
+// independent single engine fed the same per-worker streams. Under
+// -race this is the migration path's synchronization probe.
+func TestRebalanceConcurrentWithWorkload(t *testing.T) {
+	const nodes = 210
+	seed := testutil.Seed(t, 41)
+	gShard, edges := openTestGraph(t, nodes, seed)
+	gSingle, _ := openTestGraph(t, nodes, seed)
+	sh, err := shard.New(gShard, &shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	const workers = 3
+	const opsPerWorker = 200
+	var wg, rg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := edges[w*len(edges)/workers : (w+1)*len(edges)/workers]
+			for i := 0; i < opsPerWorker; i++ {
+				e := own[i%len(own)]
+				op := serve.OpDelete
+				if (i/len(own))%2 == 1 {
+					op = serve.OpInsert
+				}
+				up := serve.Update{Op: op, U: e.U, V: e.V}
+				if err := sh.Enqueue(up); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				if err := single.Enqueue(up); err != nil {
+					t.Errorf("single enqueue: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			v := uint32(r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := sh.Snapshot()
+				if c, err := snap.CoreOf(v % snap.NumNodes()); err != nil || c > snap.Kmax {
+					t.Errorf("CoreOf = %d, %v", c, err)
+					return
+				}
+				v += 7
+			}
+		}(r)
+	}
+	// Two rebalances interleaved with the live workload.
+	for i := 0; i < 2; i++ {
+		if _, err := sh.Rebalance(); err != nil {
+			t.Fatalf("rebalance %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+	if got := sh.ShardStats().Routing.Rebalances; got != 2 {
+		t.Fatalf("rebalances = %d, want 2", got)
+	}
+	compareEpochs(t, 0, sh.Snapshot(), single.Snapshot())
+}

@@ -1,0 +1,154 @@
+package shard_test
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/testutil"
+)
+
+// Fuzz graph shape: fuzzNodes ids range-partitioned into fuzzShards
+// blocks of 12, so a byte pair directly controls whether an edge is
+// shard-local or cut — the fuzzer steers the engine between the gather,
+// repair, and peel regimes by its choice of endpoints.
+const (
+	fuzzNodes  = 24
+	fuzzShards = 2
+)
+
+// fuzzProgram interprets fuzz bytes as an edit program over a small
+// two-block graph and drives it through a sharded engine and an oracle.
+//
+// Byte 0 tunes the engine: its low 3 bits select RepairMaxEdges
+// (0 keeps the automatic threshold; tiny values force the
+// repair→fallback transition mid-program). Every following byte pair
+// (a, b) is one update: endpoints a%24 and b%24, toggled against a
+// mirror — present edges are deleted, absent ones inserted — with
+// self-loops passed through as deliberately invalid traffic. After
+// every 4 updates, and at the end, both engines Sync and their epochs
+// must agree exactly.
+func fuzzProgram(t *testing.T, program []byte, oracle func(t *testing.T, base string) conformer) {
+	if len(program) < 3 {
+		return
+	}
+	if len(program) > 64 {
+		program = program[:64]
+	}
+	repairMax := int(program[0] & 0x07)
+	program = program[1:]
+
+	csr := gen.Build(gen.SmallWorld(fuzzNodes, 2, 0.3, 44))
+	base := testutil.WriteCSR(t, csr)
+	gShard := openBase(t, base)
+	sh, err := shard.New(gShard, &shard.Options{
+		Shards:         fuzzShards,
+		Partition:      shard.RangePartition(fuzzNodes),
+		RepairMaxEdges: repairMax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	want := oracle(t, base)
+	defer want.Close()
+
+	present := make(map[uint64]bool)
+	for _, e := range csr.EdgeList() {
+		present[uint64(e.U)<<32|uint64(e.V)] = true
+	}
+
+	sync := func(round int) {
+		t.Helper()
+		if err := sh.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		compareEpochs(t, round, sh.Snapshot(), want.Snapshot())
+	}
+	ops := 0
+	for i := 0; i+1 < len(program); i += 2 {
+		u := uint32(program[i]) % fuzzNodes
+		v := uint32(program[i+1]) % fuzzNodes
+		op := serve.OpInsert
+		if u != v {
+			lo, hi := min(u, v), max(u, v)
+			key := uint64(lo)<<32 | uint64(hi)
+			if present[key] {
+				op = serve.OpDelete
+			}
+			present[key] = !present[key]
+		}
+		up := serve.Update{Op: op, U: u, V: v}
+		if err := sh.Enqueue(up); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Enqueue(up); err != nil {
+			t.Fatal(err)
+		}
+		if ops++; ops%4 == 0 {
+			sync(ops)
+		}
+	}
+	sync(-1)
+}
+
+// conformer is the oracle surface the fuzz drivers need.
+type conformer interface {
+	Enqueue(ups ...serve.Update) error
+	Sync() error
+	Snapshot() *serve.Epoch
+	Close() error
+}
+
+// FuzzShardedAgreesWithSingleEngine fuzzes the full sharded stack
+// against an unsharded ConcurrentSession on the identical graph: any
+// divergence in cores, profile, or k-core membership — in any regime
+// the byte program wanders through — is a crash. `go test` exercises
+// the checked-in corpus (testdata/fuzz covers the cut→cut-free and
+// repair→fallback transitions); `go test -fuzz=FuzzShardedAgrees...`
+// explores.
+func FuzzShardedAgreesWithSingleEngine(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{1, 0, 12, 1, 13, 0, 12, 1, 13})        // cut edges in, then out
+	f.Add([]byte{2, 0, 1, 23, 22, 11, 12, 5, 5, 17, 6}) // mixed local/cut/self-loop
+	f.Add([]byte{0, 9, 21, 9, 21, 9, 21, 9, 21, 9, 21}) // one cut edge toggled
+	f.Fuzz(func(t *testing.T, program []byte) {
+		fuzzProgram(t, program, func(t *testing.T, base string) conformer {
+			single, err := serve.New(openBase(t, base), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return single
+		})
+	})
+}
+
+// FuzzComposeRepairMatchesFullPeel fuzzes the O(changed) repair compose
+// against the PR-4 full-peel oracle: the same program runs through a
+// default engine (union view + region repair + threshold fallback) and
+// a FullPeelComposes engine (every cut compose scans and peels), and
+// every synced epoch must agree exactly. This is the regime-transition
+// hunter: byte 0 shrinks the dirt threshold so programs cross
+// repair→fallback, and endpoint choices cross cut→cut-free.
+func FuzzComposeRepairMatchesFullPeel(f *testing.F) {
+	f.Add([]byte{0, 0, 12, 1, 13, 0, 12, 1, 13})
+	f.Add([]byte{1, 0, 12, 1, 2, 3, 4, 13, 14, 0, 12})      // tiny threshold: forced fallbacks
+	f.Add([]byte{2, 9, 21, 1, 2, 9, 21, 3, 4, 9, 21, 5, 6}) // cut toggles between local churn
+	f.Fuzz(func(t *testing.T, program []byte) {
+		fuzzProgram(t, program, func(t *testing.T, base string) conformer {
+			oracle, err := shard.New(openBase(t, base), &shard.Options{
+				Shards:           fuzzShards,
+				Partition:        shard.RangePartition(fuzzNodes),
+				FullPeelComposes: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return oracle
+		})
+	})
+}

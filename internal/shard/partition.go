@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"fmt"
+)
+
+// Built-in partitioner names, selectable through Options.Partitioner
+// (and, upstream, through `kcored -partitioner` and the "partitioner"
+// field of POST /graphs).
+const (
+	// PartitionerHash is the default multiplicative-hash partition: id
+	// ranges spread evenly, communities spread adversarially. Best when
+	// node ids carry no locality at all.
+	PartitionerHash = "hash"
+	// PartitionerRange splits [0, n) into contiguous id blocks. Best
+	// when the loader numbered nodes by locality.
+	PartitionerRange = "range"
+	// PartitionerLDG is the locality-aware streaming partition: Linear
+	// Deterministic Greedy assignment over the base graph's adjacency,
+	// refined by capacity-constrained label-propagation sweeps. It
+	// places each node with the shard that already holds most of its
+	// neighbours, so cross_shard_edge_ratio shrinks on clustered graphs
+	// and composes stay on the O(changed) paths.
+	PartitionerLDG = "ldg"
+)
+
+// ldgRefineRounds is the number of label-propagation refinement sweeps
+// run after the greedy streaming pass (both at construction and by
+// Rebalance). Two sweeps recover most of the cut reduction; more mostly
+// shuffles ties.
+const ldgRefineRounds = 2
+
+// ldgSlack lets each shard exceed the perfectly balanced load n/shards
+// by this factor before the assigner stops considering it. A little
+// slack is what lets whole communities stay together.
+const ldgSlack = 1.1
+
+// assignFromFunc materialises a pure partition function as an assignment
+// table, clamping out-of-range results so routing can never index out of
+// bounds.
+func assignFromFunc(n uint32, shards int, part func(v uint32, shards int) int) []int32 {
+	assign := make([]int32, n)
+	for v := uint32(0); v < n; v++ {
+		p := part(v, shards)
+		if p < 0 || p >= shards {
+			p = int(uint(p) % uint(shards))
+		}
+		assign[v] = int32(p)
+	}
+	return assign
+}
+
+// ldgAssign computes a locality-aware assignment of n nodes into
+// `shards` parts from an adjacency oracle: one Linear Deterministic
+// Greedy streaming pass (each node joins the shard with the most
+// already-assigned neighbours, discounted by shard fullness) followed by
+// ldgRefineRounds capacity-constrained label-propagation sweeps (each
+// node moves to the shard holding the strict majority of its neighbours
+// when that shard has room). Deterministic for a fixed graph.
+func ldgAssign(n uint32, shards int, neighbors func(v uint32) ([]uint32, error)) ([]int32, error) {
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	load := make([]int64, shards)
+	capacity := int64(float64(n)/float64(shards)*ldgSlack) + 1
+	counts := make([]int64, shards)
+	touched := make([]int32, 0, shards)
+
+	countNbrs := func(nbrs []uint32) {
+		for _, w := range nbrs {
+			if a := assign[w]; a >= 0 {
+				if counts[a] == 0 {
+					touched = append(touched, a)
+				}
+				counts[a]++
+			}
+		}
+	}
+	resetCounts := func() {
+		for _, a := range touched {
+			counts[a] = 0
+		}
+		touched = touched[:0]
+	}
+
+	for v := uint32(0); v < n; v++ {
+		nbrs, err := neighbors(v)
+		if err != nil {
+			return nil, fmt.Errorf("shard: ldg adjacency of %d: %w", v, err)
+		}
+		countNbrs(nbrs)
+		best, bestScore := 0, -1.0
+		for i := 0; i < shards; i++ {
+			if load[i] >= capacity {
+				continue
+			}
+			score := float64(counts[i]) * (1 - float64(load[i])/float64(capacity))
+			// Tie-break toward the least-loaded shard so the zero-score
+			// prefix (isolated or all-unassigned neighbourhoods) spreads
+			// instead of piling into shard 0.
+			if score > bestScore || (score == bestScore && load[i] < load[best]) {
+				best, bestScore = i, score
+			}
+		}
+		assign[v] = int32(best)
+		load[best]++
+		resetCounts()
+	}
+
+	for round := 0; round < ldgRefineRounds; round++ {
+		moved := false
+		for v := uint32(0); v < n; v++ {
+			nbrs, err := neighbors(v)
+			if err != nil {
+				return nil, fmt.Errorf("shard: ldg adjacency of %d: %w", v, err)
+			}
+			countNbrs(nbrs)
+			cur := assign[v]
+			best, bestCount := cur, counts[cur]
+			for _, a := range touched {
+				if counts[a] > bestCount && load[a] < capacity {
+					best, bestCount = a, counts[a]
+				}
+			}
+			if best != cur {
+				assign[v] = best
+				load[cur]--
+				load[best]++
+				moved = true
+			}
+			resetCounts()
+		}
+		if !moved {
+			break
+		}
+	}
+	return assign, nil
+}
+
+// initAssign builds the engine's node-assignment table from the options:
+// an explicit Partition function wins, then the named partitioner
+// (PartitionerLDG reads the base graph's adjacency), defaulting to the
+// multiplicative hash. The table — not the function — is what routing
+// reads, which is what lets Rebalance change assignments later without
+// breaking the "one owner per edge" rule: the table only ever changes
+// behind the compose freeze.
+func (s *Sharded) initAssign(base interface {
+	NumNodes() uint32
+	Neighbors(v uint32) ([]uint32, error)
+}, o Options) error {
+	n := base.NumNodes()
+	switch {
+	case o.Partition != nil:
+		s.assign = assignFromFunc(n, s.nshards, o.Partition)
+	case o.Partitioner == "" || o.Partitioner == PartitionerHash:
+		s.assign = assignFromFunc(n, s.nshards, HashPartition)
+	case o.Partitioner == PartitionerRange:
+		s.assign = assignFromFunc(n, s.nshards, RangePartition(n))
+	case o.Partitioner == PartitionerLDG:
+		assign, err := ldgAssign(n, s.nshards, base.Neighbors)
+		if err != nil {
+			return err
+		}
+		s.assign = assign
+	default:
+		return fmt.Errorf("shard: unknown partitioner %q (want %s, %s or %s)",
+			o.Partitioner, PartitionerHash, PartitionerRange, PartitionerLDG)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"fmt"
+
+	"kcore"
+	"kcore/internal/serve"
+)
+
+// RebalanceReport summarises one Rebalance operation: how much of the
+// assignment moved, how many edges were rerouted between sessions, and
+// the cut-edge gauge before and after — the figure the operation exists
+// to shrink.
+type RebalanceReport struct {
+	// MovedNodes counts nodes whose shard assignment changed.
+	MovedNodes int `json:"moved_nodes"`
+	// MigratedEdges counts edges whose owning session changed; each cost
+	// one delete and one insert through the normal update path.
+	MigratedEdges int `json:"migrated_edges"`
+	// CutEdgesBefore/After are the cut-session edge counts around the
+	// migration; TotalEdges is the graph size (unchanged by design).
+	CutEdgesBefore int64 `json:"cut_edges_before"`
+	CutEdgesAfter  int64 `json:"cut_edges_after"`
+	TotalEdges     int64 `json:"total_edges"`
+}
+
+// CrossShardEdgeRatioBefore reports the pre-migration cut ratio in [0,1].
+func (r RebalanceReport) CrossShardEdgeRatioBefore() float64 {
+	if r.TotalEdges == 0 {
+		return 0
+	}
+	return float64(r.CutEdgesBefore) / float64(r.TotalEdges)
+}
+
+// CrossShardEdgeRatioAfter reports the post-migration cut ratio in [0,1].
+func (r RebalanceReport) CrossShardEdgeRatioAfter() float64 {
+	if r.TotalEdges == 0 {
+		return 0
+	}
+	return float64(r.CutEdgesAfter) / float64(r.TotalEdges)
+}
+
+// Rebalance recomputes the node-to-shard assignment with the
+// locality-aware partitioner (LDG streaming pass plus label-propagation
+// refinement) over the graph as it stands now, then migrates every edge
+// whose owner changed through the normal update path: a delete enqueued
+// to its old session, an insert to its new one, applied by the ordinary
+// writers with ordinary maintenance. The union graph is untouched, so
+// composite core numbers are unchanged — what changes is which session
+// holds which edge, and with it cross_shard_edge_ratio.
+//
+// Rebalance holds the compose freeze for its duration (concurrent
+// Enqueues block, Snapshots stay lock-free on the last composite epoch)
+// and finishes with a compose, so the returned report describes a
+// published, consistent state. It is an admin operation: one O(n+m)
+// adjacency scan plus maintenance work proportional to the migrated
+// edges.
+func (s *Sharded) Rebalance() (RebalanceReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep RebalanceReport
+	if s.closed {
+		return rep, serve.ErrClosed
+	}
+	// Quiesce in-flight traffic so the scan sees the graph every session
+	// has actually applied.
+	if err := s.syncSessions(); err != nil {
+		return rep, err
+	}
+	adj, edges, err := s.scanAdjacency()
+	if err != nil {
+		return rep, err
+	}
+	rep.TotalEdges = int64(len(edges))
+	rep.CutEdgesBefore = s.graphs[s.nshards].NumEdges()
+
+	newAssign, err := ldgAssign(s.n, s.nshards, func(v uint32) ([]uint32, error) {
+		return adj[v], nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for v := uint32(0); v < s.n; v++ {
+		if newAssign[v] != s.assign[v] {
+			rep.MovedNodes++
+		}
+	}
+
+	owner := func(assign []int32, e kcore.Edge) int {
+		if assign[e.U] == assign[e.V] {
+			return int(assign[e.U])
+		}
+		return s.nshards
+	}
+	// Migrate through the normal update path. The delete and the insert
+	// go to different sessions (disjoint queues), so their relative
+	// order is free; each session sees a valid stream (the edge is
+	// present exactly where it is deleted, absent exactly where it is
+	// inserted). The migrating flag keeps these ops out of the delta
+	// accumulators: the union graph does not change.
+	s.migrating.Store(true)
+	migErr := func() error {
+		for _, e := range edges {
+			from, to := owner(s.assign, e), owner(newAssign, e)
+			if from == to {
+				continue
+			}
+			if err := s.sessions[from].Enqueue(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+				return fmt.Errorf("shard: migrate (%d,%d) out of session %d: %w", e.U, e.V, from, err)
+			}
+			if err := s.sessions[to].Enqueue(serve.Update{Op: serve.OpInsert, U: e.U, V: e.V}); err != nil {
+				return fmt.Errorf("shard: migrate (%d,%d) into session %d: %w", e.U, e.V, to, err)
+			}
+			// Keep the composite accounting invariant
+			// (enqueued = applied + rejected + annihilated) intact: the
+			// migration's two updates are real session traffic.
+			s.ctr.NoteEnqueued(2)
+			s.sctr.NoteRouted(1, from == s.nshards)
+			s.sctr.NoteRouted(1, to == s.nshards)
+			rep.MigratedEdges++
+		}
+		return s.syncSessions()
+	}()
+	s.migrating.Store(false)
+	if migErr != nil {
+		return rep, migErr
+	}
+
+	s.assign = newAssign
+	// Belt and braces: local cores moved sessions, so the next cut-free
+	// compose re-establishes the gather invariant with one full gather.
+	s.localsPure = false
+	if err := s.composeLocked(); err != nil {
+		return rep, err
+	}
+	rep.CutEdgesAfter = s.graphs[s.nshards].NumEdges()
+	s.sctr.NoteRebalance(rep.MovedNodes, rep.MigratedEdges)
+	return rep, nil
+}
+
+// scanAdjacency reads the quiescent session graphs once into an edge
+// list and a full adjacency table — the input both the locality-aware
+// assigner and the migration diff walk.
+func (s *Sharded) scanAdjacency() ([][]uint32, []kcore.Edge, error) {
+	var edges []kcore.Edge
+	deg := make([]int, s.n)
+	for i, g := range s.graphs {
+		err := g.VisitEdges(func(u, v uint32) error {
+			edges = append(edges, kcore.Edge{U: u, V: v})
+			deg[u]++
+			deg[v]++
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: rebalance scan of session %d: %w", i, err)
+		}
+	}
+	adj := make([][]uint32, s.n)
+	for v := range adj {
+		adj[v] = make([]uint32, 0, deg[v])
+	}
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj, edges, nil
+}

@@ -1,0 +1,179 @@
+package shard_test
+
+import (
+	"testing"
+
+	"kcore"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/testutil"
+)
+
+// clusteredBase writes the clustered-with-cut fixture: `blocks`
+// independent social subgraphs on contiguous id ranges plus `cut` random
+// cross-block edges, and returns the opened graph and node count.
+func clusteredBase(t testing.TB, blocks int, blockNodes uint32, cut int, seed int64) (*kcore.Graph, uint32) {
+	t.Helper()
+	nodes := uint32(blocks) * blockNodes
+	edges := testutil.BlockDiagonalSocial(blocks, blockNodes, seed)
+	edges = append(edges, testutil.CrossBlockEdges(blocks, blockNodes, cut, seed+100)...)
+	return openBase(t, testutil.WriteEdges(t, nodes, edges)), nodes
+}
+
+// TestLDGPartitionerReducesCut opens the same clustered fixture under
+// the hash partitioner and under the locality-aware LDG partitioner and
+// compares the resulting cross-shard edge ratios: LDG must come out
+// strictly lower, and low in absolute terms — the property that keeps
+// composes on the O(changed) paths.
+func TestLDGPartitionerReducesCut(t *testing.T) {
+	const blocks, blockNodes = 4, 60
+	ratios := make(map[string]float64)
+	for _, part := range []string{shard.PartitionerHash, shard.PartitionerLDG} {
+		g, _ := clusteredBase(t, blocks, blockNodes, 8, 21)
+		sh, err := shard.New(g, &shard.Options{Shards: blocks, Partitioner: part})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios[part] = sh.ShardStats().Routing.CrossShardEdgeRatio()
+		sh.Close()
+	}
+	t.Logf("cross_shard_edge_ratio: hash=%.3f ldg=%.3f", ratios[shard.PartitionerHash], ratios[shard.PartitionerLDG])
+	if ratios[shard.PartitionerLDG] >= ratios[shard.PartitionerHash] {
+		t.Fatalf("ldg cut ratio %.3f not below hash %.3f on a clustered graph",
+			ratios[shard.PartitionerLDG], ratios[shard.PartitionerHash])
+	}
+	if ratios[shard.PartitionerLDG] > 0.10 {
+		t.Errorf("ldg cut ratio %.3f on a near-block-diagonal graph, want <= 0.10", ratios[shard.PartitionerLDG])
+	}
+}
+
+// TestUnknownPartitionerRejected pins the construction-time validation.
+func TestUnknownPartitionerRejected(t *testing.T) {
+	g, _ := openTestGraph(t, 64, 23)
+	if _, err := shard.New(g, &shard.Options{Shards: 2, Partitioner: "metis"}); err == nil {
+		t.Fatal("New accepted an unknown partitioner name")
+	}
+}
+
+// TestRebalanceReducesCutAndPreservesState is the core Rebalance
+// contract: starting from the worst partition (hash) of a clustered
+// graph, Rebalance must shrink the cut, leave every served quantity
+// bit-identical (the union graph is untouched), keep the accounting
+// invariant intact, and leave the engine fully serviceable — later
+// workload must still agree with an independent single engine.
+func TestRebalanceReducesCutAndPreservesState(t *testing.T) {
+	const blocks, blockNodes = 3, 70
+	seed := testutil.Seed(t, 29)
+	nodes := uint32(blocks) * blockNodes
+	edges := testutil.BlockDiagonalSocial(blocks, blockNodes, seed)
+	edges = append(edges, testutil.CrossBlockEdges(blocks, blockNodes, 6, seed+100)...)
+	base := testutil.WriteEdges(t, nodes, edges)
+	gShard := openBase(t, base)
+	gSingle := openBase(t, base)
+
+	sh, err := shard.New(gShard, &shard.Options{Shards: blocks}) // hash: bad cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	before := sh.Snapshot()
+	rep, err := sh.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rebalance: moved %d nodes, migrated %d edges, cut %d -> %d (ratio %.3f -> %.3f)",
+		rep.MovedNodes, rep.MigratedEdges, rep.CutEdgesBefore, rep.CutEdgesAfter,
+		rep.CrossShardEdgeRatioBefore(), rep.CrossShardEdgeRatioAfter())
+	if rep.CutEdgesAfter >= rep.CutEdgesBefore {
+		t.Fatalf("rebalance did not reduce the cut: %d -> %d", rep.CutEdgesBefore, rep.CutEdgesAfter)
+	}
+	if rep.MovedNodes == 0 || rep.MigratedEdges == 0 {
+		t.Fatalf("rebalance reports no movement (nodes=%d edges=%d) yet the cut changed", rep.MovedNodes, rep.MigratedEdges)
+	}
+
+	// The union graph is untouched, so the composite decomposition must
+	// be bit-identical to the pre-rebalance epoch.
+	after := sh.Snapshot()
+	if after.NumEdges != before.NumEdges {
+		t.Fatalf("rebalance changed the edge count: %d -> %d", before.NumEdges, after.NumEdges)
+	}
+	for v := uint32(0); v < nodes; v++ {
+		if b, a := before.CoreAt(v), after.CoreAt(v); b != a {
+			t.Fatalf("rebalance changed core(%d): %d -> %d", v, b, a)
+		}
+	}
+	st := sh.Stats()
+	if st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken after rebalance: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+	routing := sh.ShardStats().Routing
+	if routing.Rebalances != 1 {
+		t.Fatalf("rebalances counter = %d, want 1", routing.Rebalances)
+	}
+	if routing.MigratedEdges != int64(rep.MigratedEdges) || routing.MigratedNodes != int64(rep.MovedNodes) {
+		t.Fatalf("migration counters (%d nodes, %d edges) disagree with the report (%d, %d)",
+			routing.MigratedNodes, routing.MigratedEdges, rep.MovedNodes, rep.MigratedEdges)
+	}
+	if gauge := routing.CutEdges; gauge != rep.CutEdgesAfter {
+		t.Fatalf("cut-edge gauge %d != report's after-count %d", gauge, rep.CutEdgesAfter)
+	}
+
+	// The engine must remain exact under further mixed workload.
+	conformRounds(t, sh, single, nodes, seed, edgesFromCSRList(edges))
+}
+
+// conformRounds drives a few rounds of the standard stream through both
+// engines and compares epochs — the post-operation conformance tail
+// shared by the rebalance tests.
+func conformRounds(t *testing.T, sh *shard.Sharded, single *serve.ConcurrentSession, nodes uint32, seed int64, live []kcore.Edge) {
+	t.Helper()
+	stream := testutil.NewMutationStream(nodes, seed+1, live)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 120; i++ {
+			up := toUpdate(stream.Next())
+			if err := sh.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.Enqueue(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		compareEpochs(t, round, sh.Snapshot(), single.Snapshot())
+	}
+}
+
+// edgesFromCSRList deduplicates a raw generator stream the way graph
+// construction does, yielding the live edge set a fresh fixture holds.
+func edgesFromCSRList(raw []kcore.Edge) []kcore.Edge {
+	seen := make(map[uint64]bool, len(raw))
+	var out []kcore.Edge
+	for _, e := range raw {
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, kcore.Edge{U: u, V: v})
+	}
+	return out
+}

@@ -32,20 +32,29 @@
 //     are known, O(n) otherwise — with no algorithmic work at all.
 //
 //   - Cut edges present: local core numbers are only lower bounds (a
-//     cut edge can raise cores in several shards), so compose falls back
-//     to an exact global peel: it scans the quiescent per-session graphs
-//     into one in-memory CSR and runs the linear-time bin-sort
-//     decomposition (internal/imcore) over the union. O(n + m), always
-//     correct, and honestly accounted: stats.ShardCounters reports the
-//     gather/peel split and the live cross-shard edge ratio, which is
-//     the partition-quality dial an operator tunes.
+//     cut edge can raise cores in several shards), so compose works on
+//     the union graph. A persistent cross-shard union view — adjacency
+//     patched from the edge deltas the session writers report, never
+//     rescanned — lets the usual compose *repair* the previous
+//     composite's cores by peeling only the affected regions around the
+//     touched edges (the region-bounded maintenance of internal/imcore):
+//     O(changed), the paper's locality property surviving a nonzero cut.
+//     Past a dirt threshold (or when the view's delta feed is broken,
+//     or on the first cut compose) it falls back to the exact full peel:
+//     scan the quiescent graphs into one CSR and run the linear-time
+//     bin-sort decomposition over the union, O(n + m), which also
+//     (re)seeds the view. stats.ShardCounters reports the
+//     gather/repair/peel split and the live cross-shard edge ratio,
+//     which is the partition-quality dial an operator tunes.
 //
-// Cross-shard writes therefore do not scale (they serialize through the
-// cut session and force peel merges) — shard-local writes do. That
-// trade is the same one every sharded store makes; the counters make it
-// observable instead of implicit. See docs/ARCHITECTURE.md for the full
-// design discussion, including why per-shard cores cannot simply be
-// summed or maxed into global ones.
+// Cross-shard writes still serialize through the cut session's single
+// writer, but they no longer erase locality: only churn past the dirt
+// threshold forces full peels. The partition-quality dial is actionable
+// too — Options.Partitioner selects a locality-aware assignment (LDG)
+// at open, and Rebalance recomputes it online, migrating edges between
+// sessions through the normal update path. See docs/ARCHITECTURE.md for
+// the full design discussion, including why per-shard cores cannot
+// simply be summed or maxed into global ones.
 //
 // # Consistency model
 //
@@ -78,14 +87,32 @@ type Options struct {
 	// Shards is the number of node-partition shards N; each gets its own
 	// writer goroutine, plus one more for the cut session. 0 selects 2.
 	Shards int
-	// Partition maps a node id to its shard in [0, shards). nil selects
-	// a multiplicative hash. The function must be pure: the owner rule
-	// (and so edge routing) is derived from it and must never change for
-	// the life of the engine.
+	// Partition maps a node id to its shard in [0, shards). The function
+	// must be pure: it is evaluated once per node at construction to
+	// seed the assignment table routing reads (Rebalance may change that
+	// table later, behind the compose freeze). nil selects the strategy
+	// named by Partitioner.
 	Partition func(v uint32, shards int) int
-	// Serve tunes every per-session writer. Counters and OnPublish are
-	// overridden (each session gets private counters; OnPublish feeds
-	// the compose dirty accumulator).
+	// Partitioner names a built-in assignment strategy (PartitionerHash,
+	// PartitionerRange, PartitionerLDG) used when Partition is nil; ""
+	// selects the hash. PartitionerLDG reads the base graph's adjacency
+	// at construction to co-locate neighbourhoods.
+	Partitioner string
+	// FullPeelComposes forces every cut-regime compose through the full
+	// O(n+m) scan-and-peel path, never building the incremental union
+	// view. It exists as the conformance oracle and benchmark baseline
+	// for the O(changed) repair path (peel_repair_speedup in
+	// BENCH_serve.json); leave it off in production.
+	FullPeelComposes bool
+	// RepairMaxEdges caps how many delta edges one compose may replay
+	// through the region repair before falling back to the full peel.
+	// 0 selects the automatic threshold max(64, totalEdges/8). Tests use
+	// small values to force the fallback regime deterministically.
+	RepairMaxEdges int
+	// Serve tunes every per-session writer. Counters, OnPublish, and
+	// OnApply are overridden (each session gets private counters;
+	// OnPublish feeds the compose dirty accumulator, OnApply the union
+	// view's edge-delta feed).
 	Serve serve.Options
 	// WorkDir holds the derived per-shard graph files (N+1 graphs, built
 	// by scattering the base graph at construction). Empty selects a
@@ -104,9 +131,6 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 2
-	}
-	if o.Partition == nil {
-		o.Partition = HashPartition
 	}
 	if o.Counters == nil {
 		o.Counters = new(stats.ServeCounters)
@@ -134,13 +158,21 @@ func RangePartition(n uint32) func(v uint32, shards int) int {
 	}
 }
 
-// dirtyAcc accumulates one session's published dirty sets between
-// composes. It is appended to from that session's writer goroutine (via
-// OnPublish) and drained by the composer under the engine's write lock.
+// dirtyAcc accumulates one session's published dirty sets and applied
+// edge deltas between composes. It is appended to from that session's
+// writer goroutine (via OnPublish and OnApply) and drained by the
+// composer under the engine's write lock.
 type dirtyAcc struct {
 	mu      sync.Mutex
 	nodes   []uint32
 	unknown bool // a publish did not report its dirty set: force a full gather
+
+	// ops is the session's applied net edge operations in apply order —
+	// the delta feed that keeps the cross-shard union view patched
+	// without rescans. overflow marks a feed that dropped ops (bounded
+	// memory); the composer must then discard the union view.
+	ops      []edgeDelta
+	overflow bool
 }
 
 // Sharded is a multi-writer engine: N per-shard serve.ConcurrentSessions
@@ -150,7 +182,6 @@ type dirtyAcc struct {
 type Sharded struct {
 	n       uint32
 	nshards int // N; sessions has N+1 entries, the cut session last
-	part    func(v uint32, shards int) int
 
 	graphs   []*kcore.Graph
 	sessions []*serve.ConcurrentSession
@@ -158,24 +189,38 @@ type Sharded struct {
 	dir      string
 	ownDir   bool
 
+	fullPeel  bool // Options.FullPeelComposes: baseline/oracle mode
+	repairMax int  // Options.RepairMaxEdges
+
 	ctr  *stats.ServeCounters // composite counters
 	sctr stats.ShardCounters  // routing / compose counters
 
 	// mu is the route/compose seam: Enqueue holds it shared (routing is
 	// concurrent across callers), compose holds it exclusively so the
-	// barrier covers everything ever routed. closed is guarded by it.
+	// barrier covers everything ever routed. closed and assign are
+	// guarded by it (assign is read under the shared lock, rewritten
+	// only by Rebalance under the exclusive lock).
 	mu     sync.RWMutex
 	closed bool
+	assign []int32 // node -> shard assignment table (the owner rule)
 
 	cur    atomic.Pointer[serve.Epoch] // last composite epoch
 	routed atomic.Int64                // updates forwarded to sessions
 
+	// migrating marks a Rebalance's own delete/insert traffic: the
+	// session writers' OnApply callbacks skip recording it, because
+	// migration reroutes edges between sessions without changing the
+	// union graph the delta feed describes.
+	migrating atomic.Bool
+
 	// Composer-owned state (only touched under mu held exclusively).
-	cores         []uint32 // composite core numbers as of the last compose
-	localsPure    bool     // cores came from the gather path (locals are exact)
-	seq           uint64   // next composite epoch sequence number
-	composedUpTo  int64    // routed count covered by the last compose
-	scratchDirty  []uint32 // reusable buffer for drained dirty sets
+	cores         []uint32    // composite core numbers as of the last compose
+	localsPure    bool        // cores came from the gather path (locals are exact)
+	union         *unionView  // persistent cross-shard union view, nil until first peel
+	seq           uint64      // next composite epoch sequence number
+	composedUpTo  int64       // routed count covered by the last compose
+	scratchDirty  []uint32    // reusable buffer for drained dirty sets
+	scratchOps    []edgeDelta // reusable buffer for drained edge deltas
 	scratchEpochs []*serve.Epoch
 }
 
@@ -200,13 +245,18 @@ func New(base *kcore.Graph, opts *Options) (*Sharded, error) {
 	}
 
 	s := &Sharded{
-		n:       base.NumNodes(),
-		nshards: o.Shards,
-		part:    o.Partition,
-		dir:     dir,
-		ownDir:  ownDir,
-		ctr:     o.Counters,
-		cores:   make([]uint32, base.NumNodes()),
+		n:         base.NumNodes(),
+		nshards:   o.Shards,
+		dir:       dir,
+		ownDir:    ownDir,
+		fullPeel:  o.FullPeelComposes,
+		repairMax: o.RepairMaxEdges,
+		ctr:       o.Counters,
+		cores:     make([]uint32, base.NumNodes()),
+	}
+	if err := s.initAssign(base, o); err != nil {
+		s.teardown()
+		return nil, err
 	}
 	if err := s.build(base, o); err != nil {
 		s.teardown()
@@ -271,6 +321,26 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 				}
 				acc.mu.Unlock()
 			}
+			so.OnApply = func(deletes, inserts []kcore.Edge) {
+				if s.migrating.Load() {
+					// Rebalance traffic reroutes edges between sessions
+					// without changing the union graph: not a delta.
+					return
+				}
+				acc.mu.Lock()
+				if !acc.overflow {
+					for _, e := range deletes {
+						acc.ops = append(acc.ops, edgeDelta{op: serve.OpDelete, e: e})
+					}
+					for _, e := range inserts {
+						acc.ops = append(acc.ops, edgeDelta{op: serve.OpInsert, e: e})
+					}
+					if len(acc.ops) > maxAccumulatedDeltaOps {
+						acc.ops, acc.overflow = nil, true
+					}
+				}
+				acc.mu.Unlock()
+			}
 			sess, err := serve.New(g, &so)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard: start shard %d: %w", i, err)
@@ -288,14 +358,16 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 	return nil
 }
 
-// shardOf maps a node to its shard, clamping whatever a custom partition
-// returns into range so routing can never index out of bounds.
+// shardOf maps a node to its shard through the assignment table (callers
+// hold mu at least shared; the table is clamped at construction and only
+// rewritten by Rebalance under the exclusive lock). Out-of-range ids map
+// to shard 0 — updates carrying them are rejected by whichever session
+// writer validates them, so the choice only has to be deterministic.
 func (s *Sharded) shardOf(v uint32) int {
-	p := s.part(v, s.nshards)
-	if p < 0 || p >= s.nshards {
-		p = int(uint(p) % uint(s.nshards))
+	if v >= uint32(len(s.assign)) {
+		return 0
 	}
-	return p
+	return int(s.assign[v])
 }
 
 // route applies the owner rule: intra-shard edges go to their shard's

@@ -13,7 +13,15 @@ type ShardCounters struct {
 
 	composes     atomic.Int64 // composite epochs published
 	gatherMerges atomic.Int64 // composes served by the O(changed)/O(n) local-core gather
-	peelMerges   atomic.Int64 // composes that had to run the global peel (cut edges present)
+	peelMerges   atomic.Int64 // cut-regime composes that ran the full global peel
+	repairMerges atomic.Int64 // cut-regime composes served by the O(changed) region repair
+
+	repairEdgesSum atomic.Int64 // delta edges replayed through the region repair, cumulative
+	repairNodesSum atomic.Int64 // nodes whose core the region repair rewrote, cumulative
+
+	rebalances    atomic.Int64 // completed Rebalance operations
+	migratedNodes atomic.Int64 // nodes whose shard assignment a Rebalance changed, cumulative
+	migratedEdges atomic.Int64 // edges rerouted between sessions by Rebalance, cumulative
 
 	cutEdges   atomic.Int64 // gauge: cut edges present at the last compose
 	totalEdges atomic.Int64 // gauge: total edges at the last compose
@@ -29,15 +37,46 @@ func (c *ShardCounters) NoteRouted(n int, cross bool) {
 	}
 }
 
+// ComposePath names which merge path built one composite epoch.
+type ComposePath int
+
+const (
+	// ComposeGather is the cut-free local-core gather (O(changed)/O(n)).
+	ComposeGather ComposePath = iota
+	// ComposePeel is the full global peel over the scanned union (O(n+m)).
+	ComposePeel
+	// ComposeRepair is the cut-regime incremental region repair
+	// (O(affected regions of the delta edges)).
+	ComposeRepair
+)
+
 // NoteCompose records one composite publication and which merge path
-// built it: the local-core gather (no cut edges) or the global peel.
-func (c *ShardCounters) NoteCompose(peeled bool) {
+// built it.
+func (c *ShardCounters) NoteCompose(path ComposePath) {
 	c.composes.Add(1)
-	if peeled {
+	switch path {
+	case ComposePeel:
 		c.peelMerges.Add(1)
-	} else {
+	case ComposeRepair:
+		c.repairMerges.Add(1)
+	default:
 		c.gatherMerges.Add(1)
 	}
+}
+
+// NoteRepair records the work of one region-repair compose: the delta
+// edges replayed and the nodes whose composite core number they changed.
+func (c *ShardCounters) NoteRepair(edges, nodes int) {
+	c.repairEdgesSum.Add(int64(edges))
+	c.repairNodesSum.Add(int64(nodes))
+}
+
+// NoteRebalance records one completed Rebalance: how many nodes changed
+// shard assignment and how many edges were rerouted between sessions.
+func (c *ShardCounters) NoteRebalance(nodes, edges int) {
+	c.rebalances.Add(1)
+	c.migratedNodes.Add(int64(nodes))
+	c.migratedEdges.Add(int64(edges))
 }
 
 // SetEdgeGauges updates the cut-edge and total-edge gauges observed at a
@@ -50,25 +89,37 @@ func (c *ShardCounters) SetEdgeGauges(cut, total int64) {
 // Snapshot captures the counters.
 func (c *ShardCounters) Snapshot() ShardSnapshot {
 	return ShardSnapshot{
-		IntraRouted:  c.intraRouted.Load(),
-		CrossRouted:  c.crossRouted.Load(),
-		Composes:     c.composes.Load(),
-		GatherMerges: c.gatherMerges.Load(),
-		PeelMerges:   c.peelMerges.Load(),
-		CutEdges:     c.cutEdges.Load(),
-		TotalEdges:   c.totalEdges.Load(),
+		IntraRouted:    c.intraRouted.Load(),
+		CrossRouted:    c.crossRouted.Load(),
+		Composes:       c.composes.Load(),
+		GatherMerges:   c.gatherMerges.Load(),
+		PeelMerges:     c.peelMerges.Load(),
+		RepairMerges:   c.repairMerges.Load(),
+		RepairEdgesSum: c.repairEdgesSum.Load(),
+		RepairNodesSum: c.repairNodesSum.Load(),
+		Rebalances:     c.rebalances.Load(),
+		MigratedNodes:  c.migratedNodes.Load(),
+		MigratedEdges:  c.migratedEdges.Load(),
+		CutEdges:       c.cutEdges.Load(),
+		TotalEdges:     c.totalEdges.Load(),
 	}
 }
 
 // ShardSnapshot is an immutable copy of a ShardCounters' state.
 type ShardSnapshot struct {
-	IntraRouted  int64 `json:"intra_shard_routed"`
-	CrossRouted  int64 `json:"cross_shard_routed"`
-	Composes     int64 `json:"composes"`
-	GatherMerges int64 `json:"gather_merges"`
-	PeelMerges   int64 `json:"peel_merges"`
-	CutEdges     int64 `json:"cut_edges"`
-	TotalEdges   int64 `json:"total_edges"`
+	IntraRouted    int64 `json:"intra_shard_routed"`
+	CrossRouted    int64 `json:"cross_shard_routed"`
+	Composes       int64 `json:"composes"`
+	GatherMerges   int64 `json:"gather_merges"`
+	PeelMerges     int64 `json:"peel_merges"`
+	RepairMerges   int64 `json:"repair_merges"`
+	RepairEdgesSum int64 `json:"repair_edges_sum"`
+	RepairNodesSum int64 `json:"repair_nodes_sum"`
+	Rebalances     int64 `json:"rebalances"`
+	MigratedNodes  int64 `json:"migrated_nodes"`
+	MigratedEdges  int64 `json:"migrated_edges"`
+	CutEdges       int64 `json:"cut_edges"`
+	TotalEdges     int64 `json:"total_edges"`
 }
 
 // CrossShardUpdateRatio reports the fraction of routed updates that hit
