@@ -53,6 +53,7 @@ func main() {
 		batch     = flag.Int("batch", 256, "max updates coalesced into one batch")
 		flush     = flag.Duration("flush", 2*time.Millisecond, "max delay before pending updates are applied")
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
+		applyW    = flag.Int("apply-workers", 1, "region-parallel flush width per writer: >= 2 partitions each coalesced batch into component-disjoint regions applied by that many concurrent workers; 1 keeps the sequential apply path")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
 		shards    = flag.Int("shards", 1, "writers per graph: >= 2 shards every opened graph across that many parallel writers (plus a cut session for cross-shard edges); 1 keeps the single-writer engine")
 		parter    = flag.String("partitioner", "hash", "node partitioner for sharded graphs: hash, range, or ldg (locality-aware streaming assignment; shrinks the cross-shard edge ratio on clustered graphs)")
@@ -81,6 +82,7 @@ func main() {
 			MaxBatch:      *batch,
 			FlushInterval: *flush,
 			QueueCapacity: *queueCap,
+			ApplyWorkers:  *applyW,
 		},
 		Open: kcore.OpenOptions{BlockSize: *blockSize},
 	})

@@ -164,6 +164,43 @@ func (g *Graph) DeleteEdge(u, v uint32) error {
 	return g.maybeCompact()
 }
 
+// InsertEdgeTrusted buffers the insertion of {u,v} without the composite
+// presence probe — on an overlay miss that probe is a disk read, and it
+// is pure re-validation when the caller has already established the edge
+// is absent (the region-parallel flush validates every op against its
+// in-memory mirror, which is kept bit-identical to this graph). The
+// overlay bookkeeping is unchanged: a buffered delete of the same edge
+// is cancelled, otherwise the insert is buffered. Trust violated means
+// overlay corruption (a base edge in the insert buffer), so callers
+// without an exact replica must use InsertEdge.
+func (g *Graph) InsertEdgeTrusted(u, v uint32) error {
+	if err := g.checkPair(u, v); err != nil {
+		return err
+	}
+	if contains(g.del[u], v) {
+		g.removeBuffered(g.del, u, v)
+	} else {
+		g.addBuffered(g.ins, u, v)
+	}
+	g.arcs += 2
+	return g.maybeCompact()
+}
+
+// DeleteEdgeTrusted buffers the deletion of {u,v} the caller has already
+// validated as present; see InsertEdgeTrusted for the contract.
+func (g *Graph) DeleteEdgeTrusted(u, v uint32) error {
+	if err := g.checkPair(u, v); err != nil {
+		return err
+	}
+	if contains(g.ins[u], v) {
+		g.removeBuffered(g.ins, u, v)
+	} else {
+		g.addBuffered(g.del, u, v)
+	}
+	g.arcs -= 2
+	return g.maybeCompact()
+}
+
 func (g *Graph) checkPair(u, v uint32) error {
 	n := g.NumNodes()
 	if u >= n || v >= n {

@@ -10,14 +10,42 @@ import (
 	"fmt"
 	"time"
 
-	"kcore/internal/dyngraph"
+	"kcore/internal/graph"
 	"kcore/internal/semicore"
 	"kcore/internal/stats"
 )
 
+// Graph is the dynamic-graph surface a maintenance session drives: the
+// read contract of graph.Source plus single-edge mutation and presence
+// checks. internal/dyngraph.Graph (the paper's disk-plus-buffer scheme)
+// is the canonical implementation; internal/serve's in-memory mirror is
+// another, so the same algorithms run region-parallel over shared
+// memory without touching the disk path.
+type Graph interface {
+	graph.Source
+	// InsertEdge adds {u,v}; inserting a present edge or a self-loop is
+	// an error and must leave the graph unchanged.
+	InsertEdge(u, v uint32) error
+	// DeleteEdge removes {u,v}; deleting an absent edge is an error and
+	// must leave the graph unchanged.
+	DeleteEdge(u, v uint32) error
+	// HasEdge reports whether {u,v} is currently present.
+	HasEdge(u, v uint32) (bool, error)
+	// NumEdges reports the current undirected edge count.
+	NumEdges() int64
+}
+
+// NeighborGraph is the optional random-access extension of Graph that
+// the worklist-driven region converge needs (semicore.LocalConverger):
+// adjacency by node, no window scan.
+type NeighborGraph interface {
+	Graph
+	Neighbors(v uint32) ([]uint32, error)
+}
+
 // Session is a maintenance session over a dynamic graph.
 type Session struct {
-	G  *dyngraph.Graph
+	G  Graph
 	St *semicore.State
 
 	// Reusable per-operation scratch, epoch-versioned so each operation
@@ -31,6 +59,10 @@ type Session struct {
 	// of the (possibly large) candidate flood is amortised across
 	// operations instead of reallocated per call.
 	dirtyBuf []uint32
+	// seedBuf and localConv are the scratch of BatchDeleteRegion: the
+	// violated-endpoint seeds and the worklist converge's stamp array.
+	seedBuf   []uint32
+	localConv semicore.LocalConverger
 	// Trace, when non-nil, observes each iteration of each operation.
 	Trace semicore.Trace
 }
@@ -45,7 +77,7 @@ const (
 
 // NewSession decomposes the graph with SemiCore* and wraps the resulting
 // state for maintenance.
-func NewSession(g *dyngraph.Graph, mem *stats.MemModel) (*Session, error) {
+func NewSession(g Graph, mem *stats.MemModel) (*Session, error) {
 	res, err := semicore.SemiCoreStar(g, &semicore.Options{Mem: mem})
 	if err != nil {
 		return nil, err
@@ -59,11 +91,11 @@ func NewSession(g *dyngraph.Graph, mem *stats.MemModel) (*Session, error) {
 
 // SessionFrom wraps an existing converged state (e.g. loaded from a
 // snapshot). The caller asserts that core/cnt are exact for g.
-func SessionFrom(g *dyngraph.Graph, st *semicore.State) *Session {
+func SessionFrom(g Graph, st *semicore.State) *Session {
 	return newSession(g, st)
 }
 
-func newSession(g *dyngraph.Graph, st *semicore.State) *Session {
+func newSession(g Graph, st *semicore.State) *Session {
 	n := g.NumNodes()
 	return &Session{
 		G:           g,

@@ -1,0 +1,110 @@
+package maintain
+
+import (
+	"fmt"
+	"time"
+
+	"kcore/internal/memgraph"
+	"kcore/internal/semicore"
+	"kcore/internal/stats"
+)
+
+// trustedMutator is the optional fast mutation interface a graph can
+// offer when the caller vouches for op validity: the same buffering as
+// InsertEdge/DeleteEdge minus the presence probe, which on the
+// disk-backed dyngraph costs a read per op. The region-parallel flush
+// qualifies — every op was already validated against the in-memory
+// mirror kept bit-identical to the authoritative graph.
+type trustedMutator interface {
+	InsertEdgeTrusted(u, v uint32) error
+	DeleteEdgeTrusted(u, v uint32) error
+}
+
+// ApplyEdges mutates the graph only — the delete batch then the insert
+// batch — without touching core/cnt. It is the second half of a
+// region-parallel flush (internal/serve): the worker sessions have
+// already repaired the maintained state against their shared in-memory
+// mirror, and the authoritative graph just has to catch up with the
+// same net edge operations. The caller asserts every edge is valid
+// (present for deletes, absent for inserts) — which also lets the
+// catch-up take the graph's trusted mutation path when it offers one —
+// and a failure mid-batch leaves the graph torn relative to the state,
+// fatal to the session.
+func (s *Session) ApplyEdges(deletes, inserts []memgraph.Edge) error {
+	del, ins := s.G.DeleteEdge, s.G.InsertEdge
+	if tm, ok := s.G.(trustedMutator); ok {
+		del, ins = tm.DeleteEdgeTrusted, tm.InsertEdgeTrusted
+	}
+	for _, e := range deletes {
+		if err := del(e.U, e.V); err != nil {
+			return fmt.Errorf("maintain: apply prepared delete (%d,%d): %w", e.U, e.V, err)
+		}
+	}
+	for _, e := range inserts {
+		if err := ins(e.U, e.V); err != nil {
+			return fmt.Errorf("maintain: apply prepared insert (%d,%d): %w", e.U, e.V, err)
+		}
+	}
+	return nil
+}
+
+// BatchDeleteRegion is BatchDelete with the windowed converge replaced
+// by the worklist-driven one (semicore.LocalConverger): the repair
+// touches only nodes reachable from the deleted endpoints through
+// cnt-violation propagation — the affected region — instead of scanning
+// every id in the window. That containment is the property the
+// region-parallel flush needs: when the batch's edges all lie inside
+// one connected region, no foreign node's core/cnt is read or written,
+// so disjoint regions repair concurrently over shared state.
+//
+// Requires Session.G to implement NeighborGraph (the in-memory mirror
+// does; the disk-backed dyngraph, whose window scans are the cheaper
+// access path, keeps using BatchDelete). Edges are validated as they
+// are deleted; on error the already-deleted prefix is rolled back and
+// the graph is left unchanged, as in BatchDelete.
+func (s *Session) BatchDeleteRegion(edges []memgraph.Edge) (stats.RunStats, error) {
+	start := time.Now()
+	rs := s.beginOp("SemiDeleteRegion*")
+	ng, ok := s.G.(NeighborGraph)
+	if !ok {
+		return rs, fmt.Errorf("maintain: BatchDeleteRegion needs a NeighborGraph, have %T", s.G)
+	}
+	if len(edges) == 0 {
+		rs.Duration = time.Since(start)
+		return rs, nil
+	}
+	for i, e := range edges {
+		if err := s.G.DeleteEdge(e.U, e.V); err != nil {
+			for j := 0; j < i; j++ {
+				s.G.InsertEdge(edges[j].U, edges[j].V) //nolint:errcheck // restoring known-good edges
+			}
+			return rs, err
+		}
+	}
+	core, cnt := s.St.Core, s.St.Cnt
+	// The endpoint-counter adjustment of Algorithm 6, batched exactly as
+	// in BatchDelete; the violated endpoints seed the traversal.
+	s.seedBuf = s.seedBuf[:0]
+	for _, e := range edges {
+		u, v := e.U, e.V
+		switch {
+		case core[u] < core[v]:
+			cnt[u]--
+			s.seedBuf = append(s.seedBuf, u)
+		case core[v] < core[u]:
+			cnt[v]--
+			s.seedBuf = append(s.seedBuf, v)
+		default:
+			cnt[u]--
+			cnt[v]--
+			s.seedBuf = append(s.seedBuf, u, v)
+		}
+	}
+	if err := s.localConv.Converge(ng, s.St, s.seedBuf, &rs); err != nil {
+		return rs, err
+	}
+	rs.Duration = time.Since(start)
+	return rs, nil
+}
+
+var _ semicore.NeighborSource = (NeighborGraph)(nil)

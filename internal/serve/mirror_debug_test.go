@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+
+	"kcore"
+	"kcore/internal/maintain"
+	"kcore/internal/memgraph"
+	"kcore/internal/semicore"
+	"kcore/internal/testutil"
+)
+
+// TestMirrorSessionMatchesOracle drives a single maintain.Session over a
+// mirror through mixed single-edge ops and checks the state against a
+// from-scratch decomposition after every op. This isolates the mirror +
+// LocalConverger + InsertStar-over-mirror stack from the parallel
+// machinery.
+func TestMirrorSessionMatchesOracle(t *testing.T) {
+	const n = uint32(60)
+	seed := testutil.Seed(t, 711)
+	// The raw fixture stream carries duplicates the build dedupes; the
+	// mutation stream must start from the edge list actually stored.
+	csr, err := memgraph.FromEdges(n, testutil.BlockDiagonalSocial(2, n/2, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := csr.EdgeList()
+	base := testutil.WriteCSR(t, csr)
+	g, err := kcore.Open(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	m, err := kcore.NewMaintainer(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mir, err := buildMirror(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := semicore.StateFrom(m.Cores(), m.Cnt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := maintain.SessionFrom(mir, st)
+
+	stream := testutil.NewMutationStream(n, seed+1, fixture)
+	for i := 0; i < 200; i++ {
+		mut := stream.NextValid()
+		if mut.Op == testutil.OpDelete {
+			if _, err := sess.BatchDeleteRegion([]kcore.Edge{{U: mut.U, V: mut.V}}); err != nil {
+				t.Fatalf("op %d delete(%d,%d): %v", i, mut.U, mut.V, err)
+			}
+		} else {
+			if _, err := sess.InsertStar(mut.U, mut.V); err != nil {
+				t.Fatalf("op %d insert(%d,%d): %v", i, mut.U, mut.V, err)
+			}
+		}
+		if err := sess.VerifyState(); err != nil {
+			t.Fatalf("op %d (%v %d,%d): %v (seed %d)", i, mut.Op, mut.U, mut.V, err, seed)
+		}
+		live := stream.Live()
+		if got, want := mir.NumEdges(), int64(len(live)); got != want {
+			t.Fatalf("op %d (%v %d,%d): mirror has %d edges, stream says %d", i, mut.Op, mut.U, mut.V, got, want)
+		}
+		for _, e := range live {
+			if has, _ := mir.HasEdge(e.U, e.V); !has {
+				t.Fatalf("op %d (%v %d,%d): mirror lost edge (%d,%d)", i, mut.Op, mut.U, mut.V, e.U, e.V)
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kcore"
+	"kcore/internal/maintain"
+	"kcore/internal/semicore"
+)
+
+// parallelMinOps is the net-batch size below which the parallel path
+// does not bother: partitioning plus goroutine handoff costs more than
+// a handful of single-edge maintenance runs.
+const parallelMinOps = 4
+
+// parallelApplier is the writer's region-parallel apply engine: an
+// in-memory mirror of the graph, one maintenance session per worker
+// (all aliasing the maintainer's live core/cnt arrays, each with
+// private per-operation scratch), and the batch partitioner that splits
+// a net flush into component-disjoint regions.
+//
+// Safety argument, in one place: regions are connected components of
+// the mirror's union-find coarsening *after* unioning the batch's
+// insert endpoints, so any two ops in different regions touch provably
+// disconnected subgraphs. SemiInsert*'s expansion is status-gated — its
+// scan predicate reads only the session-private status arrays before
+// touching a node — and the region delete converge is a worklist
+// traversal from the deleted endpoints; both therefore read and write
+// core/cnt/adjacency only inside their own region, so workers on
+// disjoint regions share the arrays without overlap. The fixpoints are
+// unique (Theorem 4.1 / Theorem 5.1), so the merged result is
+// bit-identical to the sequential writer's.
+type parallelApplier struct {
+	workers int
+	mir     *mirror
+	sess    []*maintain.Session // one per worker, over the shared mirror
+
+	// Partition scratch, reused across flushes.
+	groups  map[uint32]*regionOps
+	order   []*regionOps
+	load    []int64
+	regions [][]*regionOps
+}
+
+// regionOps is one region's slice of the net batch, in the batch's own
+// op order.
+type regionOps struct {
+	root     uint32
+	deletes  []kcore.Edge
+	inserts  []kcore.Edge
+	assigned int // worker index, set by the deterministic LPT assignment
+}
+
+func (r *regionOps) ops() int { return len(r.deletes) + len(r.inserts) }
+
+// newParallelApplier builds the mirror from the quiescent graph and the
+// per-worker sessions around the maintainer's live state. Called from
+// the writer goroutine on the first flush that wants the parallel path.
+func newParallelApplier(g *kcore.Graph, m *kcore.Maintainer, workers int) (*parallelApplier, error) {
+	mir, err := buildMirror(g)
+	if err != nil {
+		return nil, err
+	}
+	p := &parallelApplier{
+		workers: workers,
+		mir:     mir,
+		sess:    make([]*maintain.Session, workers),
+		groups:  make(map[uint32]*regionOps),
+		load:    make([]int64, workers),
+		regions: make([][]*regionOps, workers),
+	}
+	for i := range p.sess {
+		// Each worker state aliases the one authoritative core/cnt pair
+		// (StateFrom does not copy) but owns its LocalCore buffer; each
+		// session owns its status/epoch scratch. Workers repair disjoint
+		// regions of the same arrays.
+		st, err := semicore.StateFrom(m.Cores(), m.Cnt())
+		if err != nil {
+			return nil, err
+		}
+		p.sess[i] = maintain.SessionFrom(mir, st)
+	}
+	return p, nil
+}
+
+// partition splits the net batch into component-disjoint regions and
+// assigns them to workers. It returns the regions in deterministic
+// order; fewer than two means the batch is one connected blob and the
+// caller should fall back to the sequential path (the partitioning work
+// is not wasted: the union-find has already absorbed the inserts, which
+// it needs regardless of which path applies them).
+func (p *parallelApplier) partition(deletes, inserts []kcore.Edge) []*regionOps {
+	p.mir.maybeRebuildUF()
+	// Inserts merge components; union first so a region that two inserts
+	// are about to bridge is grouped as one.
+	for _, e := range inserts {
+		p.mir.uf.union(e.U, e.V)
+	}
+	clear(p.groups)
+	group := func(root uint32) *regionOps {
+		r, ok := p.groups[root]
+		if !ok {
+			r = &regionOps{root: root}
+			p.groups[root] = r
+		}
+		return r
+	}
+	for _, e := range deletes {
+		r := group(p.mir.uf.find(e.U))
+		r.deletes = append(r.deletes, e)
+	}
+	for _, e := range inserts {
+		r := group(p.mir.uf.find(e.U))
+		r.inserts = append(r.inserts, e)
+	}
+	p.order = p.order[:0]
+	for _, r := range p.groups {
+		p.order = append(p.order, r)
+	}
+	// Deterministic LPT: biggest region first (ties by root id) onto the
+	// least-loaded worker (ties by index), so the same batch always
+	// yields the same assignment — and with it the same merge order.
+	sort.Slice(p.order, func(i, j int) bool {
+		if p.order[i].ops() != p.order[j].ops() {
+			return p.order[i].ops() > p.order[j].ops()
+		}
+		return p.order[i].root < p.order[j].root
+	})
+	for i := range p.load {
+		p.load[i] = 0
+	}
+	for _, r := range p.order {
+		best := 0
+		for w := 1; w < p.workers; w++ {
+			if p.load[w] < p.load[best] {
+				best = w
+			}
+		}
+		r.assigned = best
+		p.load[best] += int64(r.ops())
+	}
+	return p.order
+}
+
+// apply runs the partitioned batch on the worker pool and merges the
+// results deterministically (worker index order, and within one worker
+// its regions in assignment order). It mutates the mirror and the
+// shared core/cnt state; the caller still owns bringing the
+// authoritative graph up to date (ApplyPrepared) and publishing.
+func (p *parallelApplier) apply(order []*regionOps) (dirty []uint32, err error) {
+	for w := range p.regions {
+		p.regions[w] = p.regions[w][:0]
+	}
+	for _, r := range order {
+		p.regions[r.assigned] = append(p.regions[r.assigned], r)
+	}
+	type result struct {
+		dirty []uint32
+		err   error
+	}
+	results := make([]result, p.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		if len(p.regions[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := p.sess[w]
+			res := &results[w]
+			for _, r := range p.regions[w] {
+				// Deletes first, then inserts — the same order the
+				// sequential writer applies the whole batch in; regions
+				// are disjoint, so per-region ordering is all that
+				// matters.
+				if len(r.deletes) > 0 {
+					rs, err := sess.BatchDeleteRegion(r.deletes)
+					res.dirty = append(res.dirty, rs.Dirty...)
+					if err != nil {
+						res.err = fmt.Errorf("serve: parallel delete region %d: %w", r.root, err)
+						return
+					}
+				}
+				for _, e := range r.inserts {
+					rs, err := sess.InsertStar(e.U, e.V)
+					res.dirty = append(res.dirty, rs.Dirty...)
+					if err != nil {
+						res.err = fmt.Errorf("serve: parallel insert (%d,%d): %w", e.U, e.V, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range results {
+		dirty = append(dirty, results[w].dirty...)
+		if results[w].err != nil {
+			// A failed region leaves mirror/state partially applied
+			// relative to the batch; the caller fails the session, so
+			// the torn state is never published.
+			return dirty, results[w].err
+		}
+	}
+	return dirty, nil
+}
+
+// applyBatches applies the net flush — parallel when the configuration,
+// batch size and region structure allow it, sequentially otherwise —
+// and returns the applied count plus the merged raw dirty set. The
+// sequential path keeps the mirror (when one exists) exactly in sync,
+// so the two paths interleave freely across flushes. On error the
+// session must be failed by the caller; nothing has been published.
+func (s *ConcurrentSession) applyBatches(deletes, inserts []kcore.Edge) (applied int, dirty []uint32, err error) {
+	if s.parWanted() && len(deletes)+len(inserts) >= parallelMinOps {
+		if s.par == nil && !s.parBroken {
+			if s.par, err = newParallelApplier(s.g, s.m, s.opts.ApplyWorkers); err != nil {
+				// The mirror could not be built (a scan error): remember
+				// and serve sequentially forever rather than retrying a
+				// scan that will fail on every flush.
+				s.parBroken = true
+				s.par = nil
+				err = nil
+			}
+		}
+		if s.par != nil {
+			order := s.par.partition(deletes, inserts)
+			if len(order) >= 2 {
+				return s.applyParallel(order, deletes, inserts)
+			}
+			s.ctr.NoteSeqFallback()
+		}
+	} else if s.parWanted() {
+		s.ctr.NoteSeqFallback()
+	}
+	applied, dirty, err = s.applySequential(deletes, inserts)
+	if err == nil && applied > 0 && s.par != nil {
+		if perr := s.par.patchMirror(deletes, inserts); perr != nil {
+			// The mirror disagrees with an apply the authoritative graph
+			// accepted: it can no longer be trusted. Drop the parallel
+			// apparatus; the published state is untouched.
+			s.par, s.parBroken = nil, true
+		}
+	}
+	return applied, dirty, err
+}
+
+// hasEdge answers the flush-time coalescer's presence probe: from the
+// live mirror's sorted in-memory adjacency when the parallel apparatus
+// is up (both apply paths keep it bit-identical to the graph, and any
+// divergence drops s.par, restoring the authoritative probe), from the
+// graph itself — a disk read on an overlay miss — otherwise.
+func (s *ConcurrentSession) hasEdge(u, v uint32) (bool, error) {
+	if s.par != nil {
+		return s.par.mir.HasEdge(u, v)
+	}
+	return s.g.HasEdge(u, v)
+}
+
+// parWanted reports whether the session is configured for the parallel
+// path at all.
+func (s *ConcurrentSession) parWanted() bool {
+	return s.opts.ApplyWorkers > 1 && !s.parBroken
+}
+
+// applyParallel runs the region-parallel path: workers repair the
+// mirror and the shared state, then the authoritative graph catches up
+// with the same net ops, and the edge counts are cross-checked before
+// anything is published.
+func (s *ConcurrentSession) applyParallel(order []*regionOps, deletes, inserts []kcore.Edge) (int, []uint32, error) {
+	dirty, err := s.par.apply(order)
+	if err != nil {
+		s.par, s.parBroken = nil, true
+		return 0, dirty, err
+	}
+	s.par.mir.deletesSinceUF += len(deletes)
+	if err := s.m.ApplyPrepared(deletes, inserts); err != nil {
+		s.par, s.parBroken = nil, true
+		return 0, dirty, err
+	}
+	if me, ge := s.par.mir.NumEdges(), s.g.NumEdges(); me != ge {
+		s.par, s.parBroken = nil, true
+		return 0, dirty, fmt.Errorf("serve: mirror/graph divergence after parallel apply: %d vs %d edges", me, ge)
+	}
+	if len(deletes) > 0 {
+		s.ctr.NoteBatch(len(deletes))
+	}
+	if len(inserts) > 0 {
+		s.ctr.NoteBatch(len(inserts))
+	}
+	s.ctr.NoteParallelApply(len(order), workersUsed(order, s.opts.ApplyWorkers))
+	return len(deletes) + len(inserts), dirty, nil
+}
+
+// workersUsed counts distinct workers the assignment touched.
+func workersUsed(order []*regionOps, workers int) int {
+	seen := make([]bool, workers)
+	used := 0
+	for _, r := range order {
+		if !seen[r.assigned] {
+			seen[r.assigned] = true
+			used++
+		}
+	}
+	return used
+}
+
+// applySequential is the pre-existing single-threaded apply: maintainer
+// batch deletes then batch inserts against the authoritative graph.
+func (s *ConcurrentSession) applySequential(deletes, inserts []kcore.Edge) (applied int, dirty []uint32, err error) {
+	apply := func(op Op, edges []kcore.Edge) error {
+		if len(edges) == 0 {
+			return nil
+		}
+		var info kcore.RunInfo
+		var err error
+		if op == OpInsert {
+			info, err = s.m.InsertEdges(edges)
+		} else {
+			info, err = s.m.DeleteEdges(edges)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: apply %s batch of %d: %w", op, len(edges), err)
+		}
+		s.ctr.NoteBatch(len(edges))
+		applied += len(edges)
+		dirty = append(dirty, info.Dirty...)
+		return nil
+	}
+	if err := apply(OpDelete, deletes); err != nil {
+		return applied, dirty, err
+	}
+	if err := apply(OpInsert, inserts); err != nil {
+		return applied, dirty, err
+	}
+	return applied, dirty, nil
+}
+
+// patchMirror replays a sequentially applied batch onto the mirror so
+// the two stay identical across paths.
+func (p *parallelApplier) patchMirror(deletes, inserts []kcore.Edge) error {
+	for _, e := range deletes {
+		if err := p.mir.DeleteEdge(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	p.mir.deletesSinceUF += len(deletes)
+	for _, e := range inserts {
+		if err := p.mir.InsertEdge(e.U, e.V); err != nil {
+			return err
+		}
+		p.mir.uf.union(e.U, e.V)
+	}
+	return nil
+}

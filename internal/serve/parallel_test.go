@@ -1,0 +1,206 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/memgraph"
+	"kcore/internal/serve"
+	"kcore/internal/testutil"
+)
+
+// blockFixture materialises a deduplicated block-diagonal social graph —
+// `blocks` disconnected communities on contiguous id ranges, the fixture
+// that gives the region partitioner independent components — and returns
+// its stored edge list.
+func blockFixture(t testing.TB, blocks int, blockNodes uint32, seed int64) (*memgraph.CSR, []kcore.Edge) {
+	t.Helper()
+	csr, err := memgraph.FromEdges(uint32(blocks)*blockNodes, testutil.BlockDiagonalSocial(blocks, blockNodes, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr, csr.EdgeList()
+}
+
+func openCSR(t testing.TB, csr *memgraph.CSR) *kcore.Graph {
+	t.Helper()
+	g, err := kcore.Open(testutil.WriteCSR(t, csr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// TestParallelApplyMatchesSequential is the region-parallel conformance
+// test (run it with -race): two sessions over identical graphs — one
+// with ApplyWorkers=4, one sequential — are fed the same mutation
+// batches (mixed valid and invalid, replayable via -seed) with a Sync
+// barrier per round, and after every round the full core arrays must be
+// bit-identical. Mutations are generated per block so batches span many
+// disconnected components: the parallel session must actually take the
+// region-parallel path, and both sessions must keep the accounting
+// invariant enqueued = applied + rejected + annihilated.
+func TestParallelApplyMatchesSequential(t *testing.T) {
+	const (
+		blocks     = 8
+		blockNodes = uint32(40)
+		rounds     = 25
+		perBlock   = 8 // mutations per block per round
+	)
+	seed := testutil.Seed(t, 701)
+	csr, _ := blockFixture(t, blocks, blockNodes, seed)
+
+	newSession := func(workers int) *serve.ConcurrentSession {
+		// A large MaxBatch and long FlushInterval so whole rounds reach
+		// the writer as one coalesced flush (the Sync barrier forces it);
+		// the parallel session then has multi-region batches to split.
+		sess, err := serve.New(openCSR(t, csr), &serve.Options{
+			MaxBatch:      4 * blocks * perBlock,
+			FlushInterval: time.Minute,
+			ApplyWorkers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		return sess
+	}
+	par := newSession(4)
+	seq := newSession(0)
+
+	// One mutation stream per block, in block-local ids: every generated
+	// update stays inside its component, so a round's batch touches all
+	// the blocks and the partitioner has real regions to split.
+	streams := make([]*testutil.MutationStream, blocks)
+	for b := range streams {
+		off := uint32(b) * blockNodes
+		var local []kcore.Edge
+		for _, e := range csr.EdgeList() {
+			if e.U/blockNodes == uint32(b) {
+				local = append(local, kcore.Edge{U: e.U - off, V: e.V - off})
+			}
+		}
+		streams[b] = testutil.NewMutationStream(blockNodes, seed+int64(b)+1, local)
+	}
+
+	for round := 0; round < rounds; round++ {
+		batch := make([]serve.Update, 0, blocks*perBlock)
+		for i := 0; i < blocks*perBlock; i++ {
+			b := i % blocks
+			off := uint32(b) * blockNodes
+			mut := streams[b].Next() // mixed: some updates are invalid on purpose
+			op := serve.OpInsert
+			if mut.Op == testutil.OpDelete {
+				op = serve.OpDelete
+			}
+			batch = append(batch, serve.Update{Op: op, U: mut.U + off, V: mut.V + off})
+		}
+		if err := par.Enqueue(batch...); err != nil {
+			t.Fatalf("round %d: parallel enqueue: %v", round, err)
+		}
+		if err := seq.Enqueue(batch...); err != nil {
+			t.Fatalf("round %d: sequential enqueue: %v", round, err)
+		}
+		if err := par.Sync(); err != nil {
+			t.Fatalf("round %d: parallel sync: %v", round, err)
+		}
+		if err := seq.Sync(); err != nil {
+			t.Fatalf("round %d: sequential sync: %v", round, err)
+		}
+		pc, sc := par.Snapshot().Cores(), seq.Snapshot().Cores()
+		for v := range sc {
+			if pc[v] != sc[v] {
+				t.Fatalf("round %d: core(%d) = %d parallel, %d sequential (seed %d)",
+					round, v, pc[v], sc[v], seed)
+			}
+		}
+	}
+
+	ps, ss := par.Stats(), seq.Stats()
+	if ps.ParallelApplies == 0 {
+		t.Fatalf("parallel session never took the parallel path: %+v", ps)
+	}
+	if ps.ApplyRegionsSum < 2*ps.ParallelApplies {
+		t.Fatalf("parallel applies averaged under 2 regions: %+v", ps)
+	}
+	if ss.ParallelApplies != 0 || ss.SeqFallbacks != 0 {
+		t.Fatalf("sequential session touched the parallel path: %+v", ss)
+	}
+	check := func(name string, enq, applied, rejected, annihilated int64) {
+		if got := applied + rejected + annihilated; got != enq {
+			t.Fatalf("%s: applied %d + rejected %d + annihilated %d = %d, want enqueued %d",
+				name, applied, rejected, annihilated, got, enq)
+		}
+	}
+	check("parallel", ps.Enqueued, ps.Applied, ps.Rejected, ps.Annihilated)
+	check("sequential", ss.Enqueued, ss.Applied, ss.Rejected, ss.Annihilated)
+}
+
+// TestParallelApplySurvivesMixedRegimes drives a parallel session with a
+// full-range mutation stream: cross-block inserts quickly merge the
+// union-find components, so flushes alternate between the parallel path
+// and the single-region / tiny-batch sequential fallback, exercising the
+// mirror patch-back seam between them. The final state must match a
+// from-scratch decomposition of the surviving edge set.
+func TestParallelApplySurvivesMixedRegimes(t *testing.T) {
+	const (
+		blocks     = 4
+		blockNodes = uint32(30)
+		n          = uint32(blocks) * blockNodes
+	)
+	seed := testutil.Seed(t, 702)
+	csr, fixture := blockFixture(t, blocks, blockNodes, seed)
+	sess, err := serve.New(openCSR(t, csr), &serve.Options{
+		MaxBatch:      8,
+		FlushInterval: time.Minute,
+		ApplyWorkers:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+
+	stream := testutil.NewMutationStream(n, seed+1, fixture)
+	for round := 0; round < 40; round++ {
+		var ups []serve.Update
+		for i := 0; i < 12; i++ {
+			var mut testutil.Mutation
+			if i%3 == 0 {
+				mut = stream.Next() // often invalid
+			} else {
+				mut = stream.NextValid()
+			}
+			op := serve.OpInsert
+			if mut.Op == testutil.OpDelete {
+				op = serve.OpDelete
+			}
+			ups = append(ups, serve.Update{Op: op, U: mut.U, V: mut.V})
+		}
+		if err := sess.Apply(ups...); err != nil {
+			t.Fatalf("round %d: %v (seed %d)", round, err, seed)
+		}
+	}
+
+	// The served state must equal a from-scratch decomposition of the
+	// surviving edge set.
+	lg, err := kcore.Open(testutil.WriteEdges(t, n, stream.Live()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	want, err := kcore.Decompose(lg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sess.Snapshot().Cores()
+	for v := range want.Core {
+		if got[v] != want.Core[v] {
+			t.Fatalf("core(%d) = %d, want %d (seed %d)", v, got[v], want.Core[v], seed)
+		}
+	}
+	if s := sess.Stats(); s.Applied+s.Rejected+s.Annihilated != s.Enqueued {
+		t.Fatalf("accounting: %+v", s)
+	}
+}

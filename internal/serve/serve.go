@@ -108,6 +108,15 @@ type Options struct {
 	// QueueCapacity bounds the ingest queue; enqueueing blocks when it is
 	// full (backpressure). 0 selects 4096.
 	QueueCapacity int
+	// ApplyWorkers sets the width of the region-parallel flush: net-effect
+	// batches are partitioned into component-disjoint regions and applied
+	// by up to this many concurrent workers over an in-memory mirror of
+	// the graph (parallel.go). Values <= 1 (the default) keep the pure
+	// sequential apply path; the parallel path also falls back to it per
+	// flush when the batch is tiny or forms a single connected region.
+	// Publication semantics are identical on both paths: one epoch per
+	// flush, cores bit-identical to the sequential writer's.
+	ApplyWorkers int
 	// Counters receives serving metrics; nil allocates a private set.
 	Counters *stats.ServeCounters
 	// FullCopySnapshots forces every publication through the pre-COW
@@ -177,6 +186,13 @@ type ConcurrentSession struct {
 	dirtyStamp   []uint32
 	stampGen     uint32
 	dirtyScratch []uint32
+
+	// Writer-owned parallel-apply engine (parallel.go): built lazily on
+	// the first flush that qualifies, dropped (parBroken) on any mirror
+	// divergence or build failure so the session degrades to the
+	// sequential path instead of trusting a bad mirror.
+	par       *parallelApplier
+	parBroken bool
 
 	mu     sync.RWMutex // guards closed against concurrent sends
 	closed bool
@@ -254,6 +270,13 @@ func (s *ConcurrentSession) Enqueue(ups ...Update) error {
 // read-your-writes barrier: a Snapshot taken after Sync returns reflects
 // all of the caller's prior updates.
 func (s *ConcurrentSession) Sync() error {
+	if f := s.failure.Load(); f != nil {
+		// The writer is dead: every already-enqueued update has been (or
+		// will be) drained without effect, so the barrier is trivially
+		// satisfied — report the failure immediately instead of paying a
+		// queue round-trip, exactly as Enqueue does.
+		return f.err
+	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()

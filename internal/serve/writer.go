@@ -52,13 +52,17 @@ func (s *ConcurrentSession) run() {
 		var env envelope
 		var ok bool
 		if len(pending) == 0 {
-			// Idle: block until work arrives or the queue closes.
+			// Idle: block until work arrives or the queue closes. The
+			// flush timer is NOT armed here — the envelope may be a sync
+			// barrier, which opens no batch; arming on it made the timer
+			// fire spuriously on an empty pending set one interval after
+			// every idle-state Sync. The timer is armed below, when a real
+			// update actually opens a batch.
 			env, ok = <-s.queue
 			if !ok {
 				flush()
 				return
 			}
-			timer.Reset(s.opts.FlushInterval)
 		} else {
 			select {
 			case env, ok = <-s.queue:
@@ -81,6 +85,11 @@ func (s *ConcurrentSession) run() {
 				env.sync <- nil
 			}
 			continue
+		}
+		if len(pending) == 0 {
+			// First update of a new batch: bound its staleness from the
+			// moment it arrived.
+			timer.Reset(s.opts.FlushInterval)
 		}
 		pending = append(pending, env.up)
 		if len(pending) >= maxBatch {
@@ -143,7 +152,7 @@ func (s *ConcurrentSession) flush(pending []Update) {
 		key := uint64(u)<<32 | uint64(v)
 		st, ok := states[key]
 		if !ok {
-			present, err := s.g.HasEdge(u, v)
+			present, err := s.hasEdge(u, v)
 			if err != nil {
 				s.fail(fmt.Errorf("serve: validate %s (%d,%d): %w", up.Op, u, v, err))
 				// Nothing from this flush reaches the published state:
@@ -185,30 +194,14 @@ func (s *ConcurrentSession) flush(pending []Update) {
 	s.ctr.NoteRejected(rejected)
 	s.ctr.NoteAnnihilated(annihilated)
 
-	applied := 0
-	var dirty []uint32
-	apply := func(op Op, edges []kcore.Edge) error {
-		if len(edges) == 0 {
-			return nil
-		}
-		var info kcore.RunInfo
-		var err error
-		if op == OpInsert {
-			info, err = s.m.InsertEdges(edges)
-		} else {
-			info, err = s.m.DeleteEdges(edges)
-		}
-		if err != nil {
-			return fmt.Errorf("serve: apply %s batch of %d: %w", op, len(edges), err)
-		}
-		s.ctr.NoteBatch(len(edges))
-		applied += len(edges)
-		dirty = append(dirty, info.Dirty...)
-		return nil
-	}
 	// Deletes first: each edge carries at most one net op, so the two
-	// same-kind batches touch disjoint edges and commute.
-	if err := s.apply2(apply, deletes, inserts); err != nil {
+	// same-kind batches touch disjoint edges and commute. applyBatches
+	// (parallel.go) routes through the region-parallel path when the
+	// session is configured for it and the batch splits into independent
+	// regions, and through the sequential maintainer batches otherwise;
+	// the resulting state is bit-identical either way.
+	applied, dirty, err := s.applyBatches(deletes, inserts)
+	if err != nil {
 		s.fail(err)
 		// The failed batches are lost from the published state; account
 		// for them so enqueued = applied + rejected + annihilated stays
@@ -222,15 +215,6 @@ func (s *ConcurrentSession) flush(pending []Update) {
 		}
 		s.publishDelta(applied, dirty)
 	}
-}
-
-// apply2 runs the delete batch then the insert batch, stopping at the
-// first error.
-func (s *ConcurrentSession) apply2(apply func(Op, []kcore.Edge) error, deletes, inserts []kcore.Edge) error {
-	if err := apply(OpDelete, deletes); err != nil {
-		return err
-	}
-	return apply(OpInsert, inserts)
 }
 
 // validSoFar counts the replayed updates that passed validation — the

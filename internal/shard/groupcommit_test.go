@@ -1,0 +1,112 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/testutil"
+)
+
+// TestConcurrentSyncGroupCommit hammers Sharded.Sync from many
+// goroutines, each writing to its own isolated node pair (so every
+// goroutine has an exact read-your-writes assertion that no other
+// goroutine can disturb), and checks that (a) every Sync observes the
+// caller's own writes, and (b) concurrent Syncs coalesce: at least one
+// compose acks more than one waiter instead of every caller paying its
+// own freeze+compose.
+func TestConcurrentSyncGroupCommit(t *testing.T) {
+	const (
+		writers = 8
+		n       = uint32(2 * writers)
+		rounds  = 60
+	)
+	g := openBase(t, testutil.WriteEdges(t, n, nil))
+	sh, err := shard.New(g, &shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	errc := make(chan error, writers)
+	var start, wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		start.Add(1)
+		wg.Add(1)
+		go func(w uint32) {
+			defer wg.Done()
+			u, v := 2*w, 2*w+1
+			start.Done()
+			start.Wait() // release the pack together to force overlap
+			for r := 0; r < rounds; r++ {
+				if err := sh.Insert(u, v); err != nil {
+					errc <- err
+					return
+				}
+				if err := sh.Sync(); err != nil {
+					errc <- err
+					return
+				}
+				if got := sh.Snapshot().CoreAt(u); got != 1 {
+					t.Errorf("writer %d round %d: core(%d) = %d after inserted edge, want 1", w, r, u, got)
+					return
+				}
+				if err := sh.Delete(u, v); err != nil {
+					errc <- err
+					return
+				}
+				if err := sh.Sync(); err != nil {
+					errc <- err
+					return
+				}
+				if got := sh.Snapshot().CoreAt(u); got != 0 {
+					t.Errorf("writer %d round %d: core(%d) = %d after deleted edge, want 0", w, r, u, got)
+					return
+				}
+			}
+		}(uint32(w))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	rt := sh.ShardStats().Routing
+	if rt.SyncWaitersCoalesced == 0 {
+		t.Fatalf("no Sync ever coalesced across %d concurrent writers x %d rounds: %+v",
+			writers, rounds, rt)
+	}
+	if rt.GroupCommits == 0 || rt.SyncWaitersCoalesced < rt.GroupCommits {
+		t.Fatalf("inconsistent group-commit counters: %+v", rt)
+	}
+}
+
+// TestSyncNoOpFastPathSurfacesFailure checks the no-op Sync fast path:
+// with nothing routed since the last compose, Sync must still run the
+// per-session barriers (so a writer failure surfaces) — and after a
+// compose, back-to-back Syncs take the fast path without publishing new
+// epochs.
+func TestSyncNoOpFastPathSurfacesFailure(t *testing.T) {
+	g, edges := openTestGraph(t, 80, 9)
+	sh, err := shard.New(g, &shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	e := edges[0]
+	if err := sh.Apply(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
+		t.Fatal(err)
+	}
+	seq := sh.Snapshot().Seq
+	for i := 0; i < 3; i++ {
+		if err := sh.Sync(); err != nil {
+			t.Fatalf("no-op sync %d: %v", i, err)
+		}
+	}
+	if got := sh.Snapshot().Seq; got != seq {
+		t.Fatalf("no-op Syncs published epochs: seq %d -> %d", seq, got)
+	}
+}

@@ -204,6 +204,15 @@ type Sharded struct {
 	closed bool
 	assign []int32 // node -> shard assignment table (the owner rule)
 
+	// syncMu guards the group-commit enrollment window: Syncs arriving
+	// while another caller is already headed into a compose join that
+	// caller's group instead of queueing up for a freeze+compose of
+	// their own. Lock order is mu before syncMu (the leader closes
+	// enrollment while holding mu exclusively); syncMu is never held
+	// while acquiring mu.
+	syncMu  sync.Mutex
+	pending *composeGroup
+
 	cur    atomic.Pointer[serve.Epoch] // last composite epoch
 	routed atomic.Int64                // updates forwarded to sessions
 
@@ -419,22 +428,84 @@ func (s *Sharded) Delete(u, v uint32) error {
 	return s.Enqueue(serve.Update{Op: serve.OpDelete, U: u, V: v})
 }
 
+// composeGroup is one group-commit generation: the waiters enrolled
+// behind a leader's compose. The leader closes enrollment once it holds
+// the engine exclusively, runs one compose, and acks every follower
+// through done.
+type composeGroup struct {
+	done chan struct{}
+	err  error // written by the leader before close(done)
+	n    int   // followers enrolled (excludes the leader)
+}
+
 // Sync blocks until every update enqueued before the call is applied and
-// covered by a composite epoch — the read-your-writes barrier. Concurrent
-// Syncs serialize; a Sync that finds nothing new routed since the last
-// compose returns without recomposing.
+// covered by a composite epoch — the read-your-writes barrier.
+//
+// Concurrent Syncs group-commit instead of serializing one freeze+compose
+// each: a Sync that finds another caller already headed into a compose
+// enrolls in that caller's group and waits for its ack. The coverage
+// argument: a follower's prior updates were routed (routed.Add) before
+// its Sync call, hence before its enrollment; the leader closes
+// enrollment after acquiring the exclusive lock and reads the routed
+// watermark after that, so the leader's compose barrier covers every
+// enrolled follower's updates. One compose therefore acks the whole
+// group (group_commits / sync_waiters_coalesced in ShardStats).
+//
+// A Sync that finds nothing routed since the last compose returns
+// without recomposing — it runs the per-session barriers under the
+// shared lock only, so surfacing a writer failure never freezes routing.
 func (s *Sharded) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	if s.closed {
+		s.mu.RUnlock()
 		return serve.ErrClosed
 	}
 	if s.routed.Load() == s.composedUpTo {
 		// Nothing routed since the last compose; it is still exact. Run
 		// the per-session barriers anyway so a writer failure surfaces.
-		return s.syncSessions()
+		// composedUpTo is only written under the exclusive lock, so the
+		// shared-lock read is stable.
+		err := s.syncSessions()
+		s.mu.RUnlock()
+		return err
 	}
-	return s.composeLocked()
+	s.mu.RUnlock()
+
+	s.syncMu.Lock()
+	if g := s.pending; g != nil {
+		// Follower: a leader is already on its way to a compose that
+		// will cover this caller's updates (see the coverage argument
+		// above). Wait for its ack instead of composing again.
+		g.n++
+		s.syncMu.Unlock()
+		<-g.done
+		return g.err
+	}
+	g := &composeGroup{done: make(chan struct{})}
+	s.pending = g
+	s.syncMu.Unlock()
+
+	// Leader: freeze the engine, close enrollment, compose once.
+	s.mu.Lock()
+	s.syncMu.Lock()
+	s.pending = nil
+	s.syncMu.Unlock()
+	var err error
+	switch {
+	case s.closed:
+		err = serve.ErrClosed
+	case s.routed.Load() == s.composedUpTo:
+		// Another compose (a Close, or a leader that won the lock race)
+		// already covered the whole group.
+		err = s.syncSessions()
+	default:
+		err = s.composeLocked()
+	}
+	s.mu.Unlock()
+	s.sctr.NoteGroupCommit(g.n)
+	g.err = err
+	close(g.done)
+	return err
 }
 
 // Apply enqueues updates and waits for a composite epoch covering them.
@@ -473,6 +544,10 @@ func (s *Sharded) Stats() stats.ServeSnapshot {
 		agg.CowChunksTotal += ss.CowChunksTotal
 		agg.MemoRepairs += ss.MemoRepairs
 		agg.AdaptiveBatch += ss.AdaptiveBatch
+		agg.ParallelApplies += ss.ParallelApplies
+		agg.ApplyRegionsSum += ss.ApplyRegionsSum
+		agg.ApplyWorkersSum += ss.ApplyWorkersSum
+		agg.SeqFallbacks += ss.SeqFallbacks
 	}
 	return agg
 }

@@ -25,6 +25,9 @@ type ShardCounters struct {
 
 	cutEdges   atomic.Int64 // gauge: cut edges present at the last compose
 	totalEdges atomic.Int64 // gauge: total edges at the last compose
+
+	groupCommits         atomic.Int64 // composes that acked more than one Sync caller
+	syncWaitersCoalesced atomic.Int64 // follower Syncs acked by another caller's compose
 }
 
 // NoteRouted records n updates routed to one writer; cross marks the cut
@@ -79,6 +82,17 @@ func (c *ShardCounters) NoteRebalance(nodes, edges int) {
 	c.migratedEdges.Add(int64(edges))
 }
 
+// NoteGroupCommit records one compose that acked waiters beyond its
+// leader: the leader's barrier covered waiters follower Syncs, which
+// therefore never paid a freeze+compose of their own.
+func (c *ShardCounters) NoteGroupCommit(waiters int) {
+	if waiters <= 0 {
+		return
+	}
+	c.groupCommits.Add(1)
+	c.syncWaitersCoalesced.Add(int64(waiters))
+}
+
 // SetEdgeGauges updates the cut-edge and total-edge gauges observed at a
 // compose barrier.
 func (c *ShardCounters) SetEdgeGauges(cut, total int64) {
@@ -102,6 +116,9 @@ func (c *ShardCounters) Snapshot() ShardSnapshot {
 		MigratedEdges:  c.migratedEdges.Load(),
 		CutEdges:       c.cutEdges.Load(),
 		TotalEdges:     c.totalEdges.Load(),
+
+		GroupCommits:         c.groupCommits.Load(),
+		SyncWaitersCoalesced: c.syncWaitersCoalesced.Load(),
 	}
 }
 
@@ -120,6 +137,9 @@ type ShardSnapshot struct {
 	MigratedEdges  int64 `json:"migrated_edges"`
 	CutEdges       int64 `json:"cut_edges"`
 	TotalEdges     int64 `json:"total_edges"`
+
+	GroupCommits         int64 `json:"group_commits"`
+	SyncWaitersCoalesced int64 `json:"sync_waiters_coalesced"`
 }
 
 // CrossShardUpdateRatio reports the fraction of routed updates that hit
