@@ -19,8 +19,12 @@
 // every graph opened at startup from that many parallel shard writers
 // (internal/shard); -partitioner picks how nodes map to shards (hash,
 // range, or the locality-aware ldg), and POST /g/{name}/rebalance
-// recomputes that assignment online. See internal/httpapi for the full
-// route list.
+// recomputes that assignment online (incrementally — bounded batches of
+// edges migrate per compose generation while serving continues).
+// -apply-workers composes with -shards: each of the shards+1 writers
+// applies its batches with that many region-parallel workers, and the
+// default 0 sizes the product to the machine (GOMAXPROCS). See
+// internal/httpapi for the full route list.
 package main
 
 import (
@@ -53,7 +57,7 @@ func main() {
 		batch     = flag.Int("batch", 256, "max updates coalesced into one batch")
 		flush     = flag.Duration("flush", 2*time.Millisecond, "max delay before pending updates are applied")
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
-		applyW    = flag.Int("apply-workers", 1, "region-parallel flush width per writer: >= 2 partitions each coalesced batch into component-disjoint regions applied by that many concurrent workers; 1 keeps the sequential apply path")
+		applyW    = flag.Int("apply-workers", 0, "region-parallel flush width per writer: >= 2 partitions each coalesced batch into component-disjoint regions applied by that many concurrent workers; 1 forces the sequential apply path; 0 picks automatically — sharded graphs (-shards >= 2) get min(GOMAXPROCS/(shards+1), 4) workers per writer, single-writer graphs stay sequential. The width multiplies across -shards: a sharded graph runs shards+1 writers, each applying with this many workers")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
 		shards    = flag.Int("shards", 1, "writers per graph: >= 2 shards every opened graph across that many parallel writers (plus a cut session for cross-shard edges); 1 keeps the single-writer engine")
 		parter    = flag.String("partitioner", "hash", "node partitioner for sharded graphs: hash, range, or ldg (locality-aware streaming assignment; shrinks the cross-shard edge ratio on clustered graphs)")

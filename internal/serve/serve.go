@@ -137,7 +137,20 @@ type Options struct {
 	// scratch — the callback must copy anything it keeps. Composite
 	// engines (internal/shard) use this to patch their cross-shard union
 	// view incrementally instead of rescanning the per-session graphs.
+	//
+	// Ordering guarantee: OnApply fires on the writer goroutine
+	// immediately before the OnPublish call for the epoch that covers the
+	// flush, with nothing in between — so a consumer that watches both
+	// callbacks sees them strictly paired and in publication order.
 	OnApply func(deletes, inserts []kcore.Edge)
+	// OnApplyInternal, when non-nil, observes applied flushes of
+	// EnqueueInternal batches with the same contract as OnApply. Internal
+	// batches are flushed in isolation — they never coalesce or
+	// annihilate against user updates — so composite engines can route
+	// migration traffic (internal/shard.Rebalance) through the normal
+	// writer while keeping its deltas distinguishable in the feed. When
+	// nil, internal flushes report through OnApply instead.
+	OnApplyInternal func(deletes, inserts []kcore.Edge)
 }
 
 func (o Options) withDefaults() Options {
@@ -159,10 +172,12 @@ func (o Options) withDefaults() Options {
 // ErrClosed is returned by operations on a closed session.
 var ErrClosed = errors.New("serve: session closed")
 
-// envelope is a queue entry: either one update or a barrier marker.
+// envelope is a queue entry: one update, a barrier marker, or an
+// internal batch (flushed in isolation, see EnqueueInternal).
 type envelope struct {
-	up   Update
-	sync chan error // non-nil marks a barrier
+	up       Update
+	sync     chan error // non-nil marks a barrier
+	internal []Update   // non-nil marks an isolated internal batch
 }
 
 // ConcurrentSession serves core-decomposition queries to many goroutines
@@ -260,6 +275,32 @@ func (s *ConcurrentSession) Enqueue(ups ...Update) error {
 	for _, u := range ups {
 		s.queue <- envelope{up: u}
 	}
+	s.ctr.NoteEnqueued(len(ups))
+	s.ctr.SetQueueDepth(len(s.queue))
+	return nil
+}
+
+// EnqueueInternal submits a batch of updates that the writer flushes in
+// isolation: everything already pending is flushed first (FIFO order is
+// preserved), then the batch is coalesced and applied as its own flush,
+// reported through OnApplyInternal rather than OnApply. Internal updates
+// therefore never annihilate against user updates enqueued around them.
+// The caller must not mutate ups after the call. It blocks while the
+// queue is full and returns ErrClosed after Close or the writer's fatal
+// error if maintenance failed.
+func (s *ConcurrentSession) EnqueueInternal(ups []Update) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	if f := s.failure.Load(); f != nil {
+		return f.err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.queue <- envelope{internal: ups}
 	s.ctr.NoteEnqueued(len(ups))
 	s.ctr.SetQueueDepth(len(s.queue))
 	return nil

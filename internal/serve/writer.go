@@ -35,7 +35,7 @@ func (s *ConcurrentSession) run() {
 	defer timer.Stop()
 
 	flush := func() {
-		s.flush(pending)
+		s.flush(pending, false)
 		pending = pending[:0]
 		switch depth := len(s.queue); {
 		case depth > s.opts.QueueCapacity/2 && maxBatch < s.opts.MaxBatch*adaptiveBatchMaxFactor:
@@ -86,6 +86,15 @@ func (s *ConcurrentSession) run() {
 			}
 			continue
 		}
+		if env.internal != nil {
+			// Isolated batch: flush everything enqueued before it first
+			// (FIFO), then flush the internal batch as its own window so
+			// it cannot coalesce or annihilate against user updates and
+			// is reported through OnApplyInternal.
+			flush()
+			s.flush(env.internal, true)
+			continue
+		}
 		if len(pending) == 0 {
 			// First update of a new batch: bound its staleness from the
 			// moment it arrived.
@@ -128,7 +137,7 @@ type edgeState struct {
 // internal state; in that case the flush publishes nothing — the session
 // is fatally failed and the last published epoch (a whole-flush boundary)
 // stays frozen, so the torn state is never visible to readers.
-func (s *ConcurrentSession) flush(pending []Update) {
+func (s *ConcurrentSession) flush(pending []Update, internal bool) {
 	if len(pending) == 0 {
 		return
 	}
@@ -210,8 +219,12 @@ func (s *ConcurrentSession) flush(pending []Update) {
 		return
 	}
 	if applied > 0 {
-		if s.opts.OnApply != nil {
-			s.opts.OnApply(deletes, inserts)
+		onApply := s.opts.OnApply
+		if internal && s.opts.OnApplyInternal != nil {
+			onApply = s.opts.OnApplyInternal
+		}
+		if onApply != nil {
+			onApply(deletes, inserts)
 		}
 		s.publishDelta(applied, dirty)
 	}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"kcore"
 	"kcore/internal/imcore"
@@ -33,161 +34,246 @@ func (s *Sharded) syncSessions() error {
 	return nil
 }
 
-// composeLocked assembles and publishes one composite epoch. The caller
-// holds mu exclusively, so no routing is in flight: after the per-session
-// barriers, every update ever routed has been applied and published by
-// its writer, the per-session graphs are quiescent, and the N+1 session
-// epochs together describe one consistent global graph (their subgraphs
-// are pairwise edge-disjoint by the owner rule).
+// composeResult carries one assembled composite from the build step
+// (under viewMu) to the publication step (under mu).
+type composeResult struct {
+	prev       *serve.Epoch
+	snap       *kcore.CoreSnapshot
+	epochDirty []uint32
+	path       stats.ComposePath
+	cutEdges   int64
+	totalEdges int64
+	applied    int64
+	// needPeel reports that the build needs the full peel but the caller
+	// forbade it (mayPeel false): the compose must escalate to the
+	// stop-the-world path, because a peel scans the session graphs and
+	// is only sound while routing is frozen and the writers quiescent.
+	needPeel bool
+}
+
+// composeOnce runs one two-phase compose. The caller holds composeMu
+// (composes are serialized); routing is excluded only during the two
+// short exclusive windows.
+//
+// Phase A — exclusive (microseconds): close the group-commit enrollment
+// window, capture the routed watermark, and flip one bounded batch of
+// any in-flight incremental migration. Releasing mu here is what kills
+// the compose stall: everything routed after the watermark simply lands
+// in the next generation.
+//
+// Phase B — concurrent with routing: barrier every session (covering at
+// least the watermark — an update routed before the watermark was
+// enqueued to its session before it, so the session barrier flushes
+// it), drain the delta feeds, and build the composite snapshot against
+// the union view the background patcher kept current. A short re-acquire
+// of mu publishes the epoch and advances composedUpTo to the watermark.
+//
+// Watermark-capture correctness: the published epoch reflects every
+// session's applied frontier at its phase-B barrier, which is at or past
+// the watermark; composedUpTo only advances to the watermark, so any
+// late-routed update the epoch happened to absorb is at worst re-covered
+// by one extra (cheap, gather/repair) compose later — never lost.
+//
+// When the build wants the full peel (first cut compose, tainted view,
+// FullPeelComposes), the compose escalates: re-acquire mu and run the
+// whole build stop-the-world, exactly the pre-two-phase behavior. The
+// SerialComposes option forces that path for every compose, as the
+// baseline the compose_stall_speedup benchmark measures against.
+func (s *Sharded) composeOnce() error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return serve.ErrClosed
+	}
+	// Close enrollment before the watermark read: a follower enrolled
+	// before this point routed its updates before enrolling, so the
+	// watermark (read after) covers them.
+	s.syncMu.Lock()
+	s.pending = nil
+	s.syncMu.Unlock()
+	if s.serial {
+		err := s.composeHeldLocked(start, true)
+		s.mu.Unlock()
+		return err
+	}
+	watermark := s.routed.Load()
+	if err := s.advanceMigrationLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	exclusive := time.Since(start)
+	s.mu.Unlock()
+
+	if gate := s.testPhaseBGate; gate != nil {
+		gate()
+	}
+
+	if err := s.syncSessions(); err != nil {
+		return err
+	}
+	s.viewMu.Lock()
+	s.ingestLocked()
+	res, err := s.buildLocked(false)
+	s.viewMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if res.needPeel {
+		// Stop-the-world escalation. Close cannot interleave (it takes
+		// composeMu, which we hold), so no closed re-check is needed.
+		s.mu.Lock()
+		err := s.composeHeldLocked(start, false)
+		s.mu.Unlock()
+		return err
+	}
+	pubStart := time.Now()
+	s.mu.Lock()
+	s.publishComposite(res, watermark)
+	s.mu.Unlock()
+	s.sctr.NoteComposeTimes(int64(exclusive+time.Since(pubStart)), int64(time.Since(start)))
+	return nil
+}
+
+// composeHeldLocked assembles and publishes one composite epoch entirely
+// under mu held exclusively — no routing is in flight, so after the
+// per-session barriers the graphs are quiescent and the build may peel.
+// It is the escalation target of composeOnce, the SerialComposes
+// baseline, and Close's final compose. advance runs the incremental
+// migration step (the escalation path already ran its own in phase A).
+func (s *Sharded) composeHeldLocked(start time.Time, advance bool) error {
+	if advance {
+		if err := s.advanceMigrationLocked(); err != nil {
+			return err
+		}
+	}
+	// Quiescent: routed is frozen while mu is held, so the watermark is
+	// exact and the barrier below covers it entirely.
+	watermark := s.routed.Load()
+	if err := s.syncSessions(); err != nil {
+		return err
+	}
+	s.viewMu.Lock()
+	s.ingestLocked()
+	res, err := s.buildLocked(true)
+	s.viewMu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.publishComposite(res, watermark)
+	el := int64(time.Since(start))
+	s.sctr.NoteComposeTimes(el, el)
+	return nil
+}
+
+// buildLocked assembles the composite snapshot from the per-session
+// epochs and the window state the eager patcher accumulated. The caller
+// holds viewMu (and composeMu, which serializes all access to the
+// composer fields localsPure/assign it reads) and has already run
+// ingestLocked, so the union view and s.cores are current up to every
+// consumed record, and the session epochs captured here cover every
+// consumed record's flush (records are sealed after their epoch
+// publishes).
 //
 // Merge regimes (see the package comment for the exactness argument):
 //
 //   - No cut edges: the composite cores are gathered from the per-shard
-//     locals — incrementally (O(changed)) when every session reported
-//     its dirty sets since the last compose and the previous compose
-//     trusted its locals, O(n) otherwise.
+//     locals — incrementally (O(changed)) when the window's dirty sets
+//     are intact and either the previous compose trusted its locals or
+//     the union view is alive (eager repairs kept s.cores exact, so
+//     dirty ∪ changed covers every difference), O(n) otherwise.
 //
-//   - Cut edges, union view alive, delta within the dirt threshold: the
-//     previous composite's cores are repaired in place by replaying the
-//     accumulated edge deltas through the region-bounded maintenance of
-//     internal/imcore — O(affected regions), not O(n+m).
+//   - Cut edges, union view alive: the eager repairs already rewrote
+//     s.cores to the union graph's exact cores at the consumed frontier;
+//     the build only snapshots them copy-on-write against the previous
+//     composite. O(changed), with no replay under any lock.
 //
-//   - Cut edges otherwise (first cut compose, overflowed delta feed,
-//     delta past the threshold, FullPeelComposes): the quiescent graphs
-//     are scanned into one CSR and peeled globally — O(n+m), exact for
-//     any cut ratio, and (unless in baseline mode) the scan seeds the
-//     union view so the next cut compose can repair.
-//
-// Either way the snapshot is built copy-on-write against the previous
-// composite epoch when a sound dirty set is in hand, and the epoch's
-// memo repairs from its predecessor's exactly as single-session epochs
-// do.
-func (s *Sharded) composeLocked() error {
-	routed := s.routed.Load()
-	if err := s.syncSessions(); err != nil {
-		return err
-	}
+//   - Cut edges otherwise (first cut compose, tainted view, or
+//     FullPeelComposes): full peel — or needPeel when mayPeel is false,
+//     making the caller escalate to the stop-the-world path.
+func (s *Sharded) buildLocked(mayPeel bool) (composeResult, error) {
+	var res composeResult
 	if s.scratchEpochs == nil {
 		s.scratchEpochs = make([]*serve.Epoch, len(s.sessions))
 	}
 	epochs := s.scratchEpochs
-	var totalEdges, applied int64
 	for i, sess := range s.sessions {
 		epochs[i] = sess.Snapshot()
-		totalEdges += epochs[i].NumEdges
-		applied += int64(epochs[i].Applied)
+		res.totalEdges += epochs[i].NumEdges
+		res.applied += int64(epochs[i].Applied)
 	}
-	cutEdges := epochs[s.nshards].NumEdges
+	res.cutEdges = epochs[s.nshards].NumEdges
+	res.prev = s.cur.Load()
+	vs := &s.view
 
-	// Drain the per-session accumulators (their writers are idle behind
-	// the barrier, but OnPublish/OnApply append under acc.mu, so take
-	// it): the dirty node sets feed the gather path, the edge deltas
-	// feed the union view.
-	dirty := s.scratchDirty[:0]
-	dirtyKnown := true
-	ops := s.scratchOps[:0]
-	opsKnown := true
-	for i := range s.acc {
-		a := &s.acc[i]
-		a.mu.Lock()
-		if a.unknown {
-			dirtyKnown = false
-		}
-		for _, v := range a.nodes {
-			if v < s.n {
-				dirty = append(dirty, v)
-			}
-		}
-		a.nodes = a.nodes[:0]
-		a.unknown = false
-		if a.overflow {
-			opsKnown = false
-		}
-		// Per-session order is preserved; sessions own disjoint edges,
-		// so concatenating the per-session runs is a valid replay order.
-		ops = append(ops, a.ops...)
-		a.ops = a.ops[:0]
-		a.overflow = false
-		a.mu.Unlock()
-	}
-	s.scratchDirty = dirty
-	s.scratchOps = ops
-	if !opsKnown {
-		// The delta feed dropped ops: the union view can no longer be
-		// trusted. Drop it; the next cut compose rebuilds from a scan.
-		s.union = nil
-	}
-
-	prev := s.cur.Load()
-	var snap *kcore.CoreSnapshot
-	var epochDirty []uint32
-	path := stats.ComposeGather
 	switch {
-	case cutEdges == 0 && prev != nil && s.localsPure && dirtyKnown:
-		// Incremental gather: only nodes some session reported dirty can
-		// have changed their (local == global) core number. The union
-		// view, if alive, needs only its adjacency patched — the gather
-		// keeps its cores (aliases of s.cores) exact for free.
-		s.patchUnionGraph(ops)
-		for _, v := range dirty {
+	case res.cutEdges == 0 && res.prev != nil && vs.dirtyKnown && (s.localsPure || s.union != nil):
+		// Incremental gather: with no cut edges a node's global core is
+		// its local core, and only nodes in the window's dirty sets (or
+		// rewritten by a mid-window eager repair) can differ from the
+		// previous composite.
+		for _, v := range vs.dirty {
 			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
 		}
-		// Non-nil even when empty: an empty dirty set is a *known* delta
-		// (zero changes), which still entitles the epoch to a trivial
-		// memo repair; nil would mean "unknown" and force a rebuild.
-		epochDirty = append(make([]uint32, 0, len(dirty)), dirty...)
-		snap, _ = prev.CoreSnapshot.WithUpdates(s.cores, epochDirty, totalEdges)
-	case cutEdges == 0:
+		// Non-nil even when empty: an empty set is a *known* delta (zero
+		// changes), which still entitles the epoch to a trivial memo
+		// repair; nil would mean "unknown" and force a rebuild.
+		ed := make([]uint32, 0, len(vs.dirty)+len(vs.changed))
+		ed = append(append(ed, vs.dirty...), vs.changed...)
+		res.epochDirty = ed
+		res.snap, _ = res.prev.CoreSnapshot.WithUpdates(s.cores, ed, res.totalEdges)
+		res.path = stats.ComposeGather
+	case res.cutEdges == 0:
 		// Full gather: locals are exact but the incremental view is not
-		// trusted (first compose, post-peel, post-rebalance, or a lost
-		// dirty set).
-		s.patchUnionGraph(ops)
+		// trusted (first compose, post-peel without repairs, mid-flight
+		// migration, or a lost dirty set).
 		for v := uint32(0); v < s.n; v++ {
 			s.cores[v] = epochs[s.shardOf(v)].CoreAt(v)
 		}
-		snap = kcore.SnapshotFromCores(s.cores, totalEdges)
-	case s.union != nil && prev != nil && len(ops) <= s.repairLimit(totalEdges):
-		// Cut edges present, union view alive, delta under the dirt
-		// threshold: O(changed) region repair of the previous
-		// composite's cores around the touched edges.
-		changed, err := s.repairUnion(ops)
-		if err != nil {
-			// The view diverged from the sessions (should not happen;
-			// defensive): drop it and recover through the exact peel,
-			// which recomputes from the real graphs and so masks any
-			// partial mutation the failed replay left in s.cores.
-			s.union = nil
-			if snap, epochDirty, err = s.peel(prev, totalEdges); err != nil {
-				return err
-			}
-			path = stats.ComposePeel
-			break
-		}
-		s.sctr.NoteRepair(len(ops), len(changed))
-		// Superset semantics: changed may repeat nodes or include nodes
-		// whose net core change is zero; WithUpdates and the memo repair
-		// both tolerate that. Non-nil even when empty, as in the gather.
-		epochDirty = append(make([]uint32, 0, len(changed)), changed...)
-		snap, _ = prev.CoreSnapshot.WithUpdates(s.cores, epochDirty, totalEdges)
-		path = stats.ComposeRepair
+		res.snap = kcore.SnapshotFromCores(s.cores, res.totalEdges)
+		res.path = stats.ComposeGather
+	case s.union != nil && res.prev != nil:
+		// Cut edges present, union view alive: the eager repairs already
+		// did the work — s.cores are the exact union cores at the
+		// consumed frontier, changed is the sound superset of what moved.
+		s.sctr.NoteRepair(vs.opsSince, len(vs.changed))
+		res.epochDirty = append(make([]uint32, 0, len(vs.changed)), vs.changed...)
+		res.snap, _ = res.prev.CoreSnapshot.WithUpdates(s.cores, res.epochDirty, res.totalEdges)
+		res.path = stats.ComposeRepair
 	default:
-		// Cut edges present: exact global peel over the union graph.
-		var err error
-		if snap, epochDirty, err = s.peel(prev, totalEdges); err != nil {
-			return err
+		if !mayPeel {
+			res.needPeel = true
+			return res, nil
 		}
-		path = stats.ComposePeel
+		snap, changed, err := s.peel(res.prev, res.totalEdges)
+		if err != nil {
+			// The scan failed partway; nothing was published but the
+			// window's accumulation was consumed — poison the view so
+			// later composes take the unconditional paths.
+			s.taintLocked(true)
+			return res, err
+		}
+		res.snap, res.epochDirty = snap, changed
+		res.path = stats.ComposePeel
 	}
-	s.localsPure = path == stats.ComposeGather
+	s.resetViewLocked(res.totalEdges)
+	return res, nil
+}
 
-	e := serve.ComposeEpoch(prev, snap, s.seq, uint64(applied), epochDirty, s.ctr)
+// publishComposite swaps in the assembled composite epoch and advances
+// the compose bookkeeping. The caller holds mu exclusively (composedUpTo
+// is read by Sync's fast path under the shared lock).
+func (s *Sharded) publishComposite(res composeResult, watermark int64) {
+	s.localsPure = res.path == stats.ComposeGather
+	e := serve.ComposeEpoch(res.prev, res.snap, s.seq, uint64(res.applied), res.epochDirty, s.ctr)
 	s.seq++
 	s.cur.Store(e)
-	s.composedUpTo = routed
-	s.ctr.NotePublish(e.Seq, snap.TakenAt)
-	s.sctr.NoteCompose(path)
-	s.sctr.SetEdgeGauges(cutEdges, totalEdges)
-	return nil
+	if watermark > s.composedUpTo {
+		s.composedUpTo = watermark
+	}
+	s.ctr.NotePublish(e.Seq, res.snap.TakenAt)
+	s.sctr.NoteCompose(res.path)
+	s.sctr.SetEdgeGauges(res.cutEdges, res.totalEdges)
 }
 
 // peel computes the exact global decomposition by scanning the quiescent
@@ -197,7 +283,9 @@ func (s *Sharded) composeLocked() error {
 // copy-on-write. Reports the snapshot and the exact changed-node set
 // (nil when prev is absent). Unless the engine is in FullPeelComposes
 // (baseline/oracle) mode, the scanned CSR also seeds the persistent
-// union view, so the *next* cut compose pays O(changed) instead.
+// union view, so later cut composes pay O(changed) instead. Callers hold
+// mu (writers quiescent, routing frozen — a scan racing live writers
+// would tear) and viewMu.
 func (s *Sharded) peel(prev *serve.Epoch, totalEdges int64) (*kcore.CoreSnapshot, []uint32, error) {
 	edges := make([]memgraph.Edge, 0, totalEdges)
 	for i, g := range s.graphs {

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"kcore"
+	"kcore/internal/serve"
+)
+
+// migrationPlan is an in-flight incremental Rebalance: the staged target
+// assignment plus the live bookkeeping that lets bounded batches of it
+// flip inside compose phase A while user traffic keeps routing.
+//
+// The hard problem is staleness: the edges a pending node owned at
+// staging time are not the edges it owns when its batch flips — user
+// traffic keeps inserting and deleting them. The plan therefore tracks
+// *presence*: every update routed to a tracked edge (one with a pending
+// endpoint) records the edge's resulting live presence, under a per-edge
+// stripe lock held across the session enqueue so the recorded state
+// always matches the writer's queue order even when two callers race
+// opposing ops on the same edge. At flip time the batch migrates exactly
+// the edges whose recorded presence is true — an edge deleted since
+// staging is skipped (migrating it would resurrect a ghost), an edge
+// inserted since staging is migrated even though the staging scan never
+// saw it.
+//
+// Field locking: target/pendingSet/order and the progress counters are
+// only read by Enqueue under the engine's shared lock and mutated under
+// its exclusive lock (flips), so they need no lock of their own;
+// presence/byNode are additionally written by concurrent Enqueues and
+// take mu.
+type migrationPlan struct {
+	target     []int32             // the staged assignment to converge to
+	pendingSet map[uint32]struct{} // nodes staged but not yet flipped
+	order      []uint32            // flip order; batches pop from the end
+
+	stripes [64]sync.Mutex // per-edge enqueue/presence atomicity
+
+	mu       sync.Mutex          // guards presence and byNode
+	presence map[uint64]bool     // tracked edge key -> live union presence
+	byNode   map[uint32][]uint64 // pending node -> tracked edge keys
+
+	migratedEdges int // edges rerouted so far, across generations
+}
+
+func edgeKey(u, v uint32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// newMigrationPlan stages a plan from the current and target assignments
+// and the edge list just scanned from the quiescent graphs.
+func newMigrationPlan(cur, target []int32, edges []kcore.Edge) *migrationPlan {
+	p := &migrationPlan{
+		target:     target,
+		pendingSet: make(map[uint32]struct{}),
+		presence:   make(map[uint64]bool),
+		byNode:     make(map[uint32][]uint64),
+	}
+	for v := range target {
+		if target[v] != cur[v] {
+			p.pendingSet[uint32(v)] = struct{}{}
+			p.order = append(p.order, uint32(v))
+		}
+	}
+	for _, e := range edges {
+		key := edgeKey(e.U, e.V)
+		tracked := false
+		if _, ok := p.pendingSet[e.U]; ok {
+			p.byNode[e.U] = append(p.byNode[e.U], key)
+			tracked = true
+		}
+		if _, ok := p.pendingSet[e.V]; ok {
+			p.byNode[e.V] = append(p.byNode[e.V], key)
+			tracked = true
+		}
+		if tracked {
+			p.presence[key] = true
+		}
+	}
+	return p
+}
+
+// tracks reports whether an update touches an edge the plan must watch:
+// a valid edge with at least one endpoint still pending. (Invalid shapes
+// are left to the writers' validation; they cannot change ownership.)
+func (p *migrationPlan) tracks(u, v, n uint32) bool {
+	if u == v || u >= n || v >= n {
+		return false
+	}
+	if _, ok := p.pendingSet[u]; ok {
+		return true
+	}
+	_, ok := p.pendingSet[v]
+	return ok
+}
+
+// enqueueTracked forwards one tracked update to its session and records
+// the edge's resulting presence. The stripe lock spans both so the
+// presence order matches the session's queue order; callers hold the
+// engine's shared lock (so no flip is concurrent). Presence is a state,
+// not a toggle: an update the writer will reject (duplicate insert,
+// absent delete) re-records the state the edge already has.
+func (p *migrationPlan) enqueueTracked(sess *serve.ConcurrentSession, up serve.Update) error {
+	key := edgeKey(up.U, up.V)
+	st := &p.stripes[key%uint64(len(p.stripes))]
+	st.Lock()
+	err := sess.Enqueue(up)
+	if err == nil {
+		p.mu.Lock()
+		if _, known := p.presence[key]; !known {
+			// First sighting of this edge (inserted after staging):
+			// register it under every pending endpoint.
+			u, v := up.U, up.V
+			if _, ok := p.pendingSet[u]; ok {
+				p.byNode[u] = append(p.byNode[u], key)
+			}
+			if _, ok := p.pendingSet[v]; ok {
+				p.byNode[v] = append(p.byNode[v], key)
+			}
+		}
+		p.presence[key] = up.Op == serve.OpInsert
+		p.mu.Unlock()
+	}
+	st.Unlock()
+	return err
+}
+
+// advanceMigrationLocked flips one bounded batch of the in-flight plan:
+// pop pending nodes until their tracked edges exceed MigrateMaxEdges
+// (always at least one node, so the plan converges), rewrite their
+// assignment, and enqueue the owner-changed live edges as internal
+// batches — a delete to each edge's old session, an insert to its new
+// one, applied by the ordinary writers with ordinary maintenance. The
+// union graph is untouched, so composite cores are unchanged by
+// construction. Runs in compose phase A under mu held exclusively (no
+// Enqueue is concurrent, so the plan's maps are stable); the same
+// compose's phase-B barrier flushes the migration batches, so every
+// generation leaves the engine consistent.
+//
+// An edge whose endpoints flip in different generations may migrate
+// twice (out to the cut session, then into the target shard) — bounded
+// extra work traded for the bounded freeze.
+//
+// The internal enqueues can block on a full session queue while mu is
+// held; that is bounded (at most one batch envelope per session per
+// generation, and the writers drain without taking engine locks).
+func (s *Sharded) advanceMigrationLocked() error {
+	p := s.plan
+	if p == nil {
+		return nil
+	}
+	budget := s.migrateMax
+	var batch []uint32
+	for len(p.order) > 0 && budget > 0 {
+		v := p.order[len(p.order)-1]
+		cost := len(p.byNode[v])
+		if len(batch) > 0 && cost > budget {
+			break
+		}
+		p.order = p.order[:len(p.order)-1]
+		delete(p.pendingSet, v)
+		batch = append(batch, v)
+		budget -= cost
+	}
+
+	// Candidate edges with pre-flip owners. An edge under two batch
+	// nodes is considered once; an edge whose recorded presence is false
+	// no longer exists in the union and must not be resurrected.
+	type move struct {
+		e        kcore.Edge
+		from, to int
+	}
+	seen := make(map[uint64]struct{}, budget)
+	var moves []move
+	for _, v := range batch {
+		for _, key := range p.byNode[v] {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if !p.presence[key] {
+				continue
+			}
+			e := kcore.Edge{U: uint32(key >> 32), V: uint32(key)}
+			moves = append(moves, move{e: e, from: s.owner(e)})
+		}
+		delete(p.byNode, v)
+	}
+	for _, v := range batch {
+		s.assign[v] = p.target[v]
+	}
+	nsess := s.nshards + 1
+	batches := make([][]serve.Update, nsess)
+	for _, mv := range moves {
+		to := s.owner(mv.e)
+		if to == mv.from {
+			continue
+		}
+		batches[mv.from] = append(batches[mv.from], serve.Update{Op: serve.OpDelete, U: mv.e.U, V: mv.e.V})
+		batches[to] = append(batches[to], serve.Update{Op: serve.OpInsert, U: mv.e.U, V: mv.e.V})
+		s.sctr.NoteRouted(1, mv.from == s.nshards)
+		s.sctr.NoteRouted(1, to == s.nshards)
+		p.migratedEdges++
+	}
+	for i, ups := range batches {
+		if len(ups) == 0 {
+			continue
+		}
+		if err := s.sessions[i].EnqueueInternal(ups); err != nil {
+			s.clearPlanLocked()
+			return fmt.Errorf("shard: migrate batch into session %d: %w", i, err)
+		}
+		// Engine-level accounting mirrors Enqueue's: the migration ops
+		// are real session traffic, and Stats sums Applied from the
+		// sessions, so enqueued = applied + rejected + annihilated only
+		// holds if the composite enqueued counter covers them too.
+		s.ctr.NoteEnqueued(len(ups))
+	}
+	if len(batch) > 0 {
+		// Local cores moved sessions: the next cut-free compose must
+		// re-establish the gather invariant with one full gather.
+		s.localsPure = false
+	}
+	if len(p.order) == 0 {
+		s.plan = nil
+	}
+	s.sctr.SetRebalancePending(len(p.order))
+	return nil
+}
+
+// owner applies the owner rule under the current assignment table.
+func (s *Sharded) owner(e kcore.Edge) int {
+	if s.assign[e.U] == s.assign[e.V] {
+		return int(s.assign[e.U])
+	}
+	return s.nshards
+}
+
+// clearPlanLocked abandons the in-flight plan (caller holds mu). Batches
+// already flipped stay flipped — assignment and edge placement agree for
+// them — so the engine remains consistent, just not fully rebalanced.
+func (s *Sharded) clearPlanLocked() {
+	s.plan = nil
+	s.sctr.SetRebalancePending(0)
+}

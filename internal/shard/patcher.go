@@ -1,0 +1,284 @@
+package shard
+
+import (
+	"sync"
+
+	"kcore"
+	"kcore/internal/serve"
+)
+
+// This file is the eager half of the two-phase compose (compose.go): a
+// record-based per-session delta feed plus a background patcher
+// goroutine that keeps the cross-shard union view — and with it the
+// composite core array — current *between* composes, so the compose
+// itself finds the view already patched up to each session's applied
+// frontier and pays no replay work under any lock routing cares about.
+//
+// Each session writer appends one flushRec per applied flush, pairing
+// the flush's exact dirty set (from the published epoch) with the slice
+// of net edge ops it applied. Records are what make mixed-time
+// consumption sound: the old per-kind accumulators (dirty nodes in one
+// bucket, edge ops in another) could only be drained behind a barrier,
+// because draining them at different times tore the pairing between a
+// flush's ops and its dirty set. A record is consumed atomically or not
+// at all, so the patcher can run continuously against live writers.
+
+// flushRec describes one applied flush of one session, in apply order.
+type flushRec struct {
+	// dirty is the epoch's exact changed-node set, shared with the
+	// (immutable) epoch; nil when the publish did not report one.
+	dirty []uint32
+	// unknown marks a publish that applied updates without reporting a
+	// dirty set (the full-copy fallback): the gather path can no longer
+	// trust its incremental view.
+	unknown bool
+	// internal marks a migration flush (EnqueueInternal): its ops cancel
+	// out across sessions (the union graph is unchanged) and its dirty
+	// set is superseded by the post-migration full gather, so the
+	// patcher skips it entirely.
+	internal bool
+	// [opsStart, opsEnd) indexes the feed's ops buffer; empty when the
+	// feed overflowed before this record.
+	opsStart, opsEnd int
+}
+
+// feed is one session's delta feed. recs/ops/overflow are shared between
+// the session's writer goroutine (producer) and the patcher/composer
+// (single consumer under viewMu) and guarded by mu; the staging fields
+// are written only by the writer goroutine, relying on the documented
+// OnApply-before-OnPublish same-goroutine ordering; the spare buffers
+// are owned by the consumer between drains. Swapping full and spare
+// buffers on every drain reuses their capacity, so the hot OnApply path
+// stays at its high-water mark instead of reallocating every window.
+type feed struct {
+	mu       sync.Mutex
+	recs     []flushRec
+	ops      []edgeDelta
+	overflow bool
+
+	// Writer-goroutine staging between OnApply and its OnPublish.
+	staged         []edgeDelta
+	stagedInternal bool
+
+	// Consumer-owned spares, rotated in by drains.
+	spareRecs []flushRec
+	spareOps  []edgeDelta
+}
+
+// noteApply stages one applied flush's net batches (writer goroutine).
+// The batches are writer-owned scratch, so they are copied here.
+func (f *feed) noteApply(deletes, inserts []kcore.Edge, internal bool) {
+	f.stagedInternal = internal
+	if internal {
+		return // migration ops never reach the union view
+	}
+	for _, e := range deletes {
+		f.staged = append(f.staged, edgeDelta{op: serve.OpDelete, e: e})
+	}
+	for _, e := range inserts {
+		f.staged = append(f.staged, edgeDelta{op: serve.OpInsert, e: e})
+	}
+}
+
+// notePublish seals the staged flush into a record (writer goroutine).
+func (f *feed) notePublish(e *serve.Epoch) {
+	if e.Seq == 0 {
+		return // the startup epoch covers no flush
+	}
+	rec := flushRec{dirty: e.Dirty(), internal: f.stagedInternal}
+	rec.unknown = !rec.internal && rec.dirty == nil && e.Applied > 0
+	f.mu.Lock()
+	if !rec.internal && !f.overflow {
+		rec.opsStart = len(f.ops)
+		f.ops = append(f.ops, f.staged...)
+		rec.opsEnd = len(f.ops)
+		if len(f.ops) > maxAccumulatedDeltaOps {
+			// Bound memory: drop the op stream but keep the records —
+			// their dirty sets still serve the gather path. The consumer
+			// sees overflow and discards the union view.
+			f.ops = f.ops[:0]
+			for i := range f.recs {
+				f.recs[i].opsStart, f.recs[i].opsEnd = 0, 0
+			}
+			rec.opsStart, rec.opsEnd = 0, 0
+			f.overflow = true
+		}
+	}
+	f.recs = append(f.recs, rec)
+	f.mu.Unlock()
+	f.staged = f.staged[:0]
+	f.stagedInternal = false
+}
+
+// drain takes every sealed record (single consumer, under viewMu),
+// rotating the spare buffers in so producers keep appending without a
+// fresh allocation. The caller must hand the returned buffers back via
+// recycle once it has fully consumed them.
+func (f *feed) drain() (recs []flushRec, ops []edgeDelta, overflow bool) {
+	f.mu.Lock()
+	recs, ops, overflow = f.recs, f.ops, f.overflow
+	f.recs, f.ops = f.spareRecs[:0], f.spareOps[:0]
+	f.overflow = false
+	f.mu.Unlock()
+	return recs, ops, overflow
+}
+
+// recycle returns drained buffers for reuse as the next drain's spares.
+func (f *feed) recycle(recs []flushRec, ops []edgeDelta) {
+	f.spareRecs, f.spareOps = recs[:0], ops[:0]
+}
+
+// viewState is the composer/patcher-shared window state accumulated
+// since the last compose, guarded by viewMu (as are s.union and
+// s.cores).
+type viewState struct {
+	// dirty accumulates the records' exact per-flush dirty sets (possibly
+	// with duplicates); dirtyKnown falls when any record lost its dirty
+	// set, or when a taint invalidated mid-window core repairs.
+	dirty      []uint32
+	dirtyKnown bool
+	// changed accumulates the nodes whose composite core the eager
+	// region repairs rewrote this window; repaired marks that any repair
+	// ran (s.cores differ from the last composed state by more than the
+	// gather-visible dirty nodes).
+	changed  []uint32
+	repaired bool
+	// opsSince counts ops replayed this window, against repairLimit.
+	opsSince int
+	// totalEdges is the union edge count as of the last compose, the
+	// denominator of repairLimit for this window.
+	totalEdges int64
+}
+
+// signalPatcher nudges the background patcher; never blocks.
+func (s *Sharded) signalPatcher() {
+	select {
+	case s.patchSignal <- struct{}{}:
+	default:
+	}
+}
+
+// patcher is the background union-view patcher goroutine: the delta
+// feeds' only consumer outside a compose. Each nudge (one per session
+// publish) drains every feed and replays the records into the union
+// view, so compose-time ingest finds at most the records of flushes
+// published after the last nudge was served.
+func (s *Sharded) patcher() {
+	defer s.patchWG.Done()
+	for {
+		select {
+		case <-s.patchQuit:
+			return
+		case <-s.patchSignal:
+			s.viewMu.Lock()
+			s.ingestLocked()
+			s.viewMu.Unlock()
+		}
+	}
+}
+
+// ingestLocked consumes every sealed record from every feed (caller
+// holds viewMu): dirty sets accumulate for the gather path, and — while
+// the union view is alive — each record's ops are replayed through the
+// region-bounded repair, keeping s.cores exactly the union graph's cores
+// at the consumed frontier. Internal (migration) records are skipped
+// wholesale: their ops cancel across sessions and the post-migration
+// compose re-gathers. Any hole in the feed (overflow), replay failure,
+// or budget overrun taints the view instead of trusting it.
+func (s *Sharded) ingestLocked() {
+	vs := &s.view
+	for i := range s.feeds {
+		f := &s.feeds[i]
+		recs, ops, overflow := f.drain()
+		if overflow {
+			s.sctr.NoteDeltaOverflow()
+			s.taintLocked(false)
+		}
+		for _, rec := range recs {
+			if rec.internal {
+				continue
+			}
+			if rec.unknown {
+				vs.dirtyKnown = false
+			} else {
+				for _, v := range rec.dirty {
+					if v < s.n {
+						vs.dirty = append(vs.dirty, v)
+					}
+				}
+			}
+			if s.union == nil || rec.opsEnd == rec.opsStart {
+				continue
+			}
+			n := rec.opsEnd - rec.opsStart
+			if vs.opsSince+n > s.repairLimit(vs.totalEdges) {
+				// Past the dirt threshold region repairs are no cheaper
+				// than one linear peel: stop patching, let the next cut
+				// compose rebuild. Mid-window repairs already ran, so the
+				// taint decides whether the gather view survives.
+				s.taintLocked(false)
+				continue
+			}
+			vs.opsSince += n
+			if err := s.replayLocked(ops[rec.opsStart:rec.opsEnd]); err != nil {
+				// The view diverged from the sessions (possible when a
+				// migrated edge's feeds interleave across sessions, or
+				// defensively on any corruption): s.cores may be part
+				// mutated, so the gather view falls with the union view.
+				s.taintLocked(true)
+			}
+		}
+		f.recycle(recs, ops)
+	}
+}
+
+// replayLocked replays one record's ops through the region-bounded
+// maintenance, rewriting s.cores in place and accumulating the changed
+// nodes. Caller holds viewMu and has checked the union view is alive.
+func (s *Sharded) replayLocked(ops []edgeDelta) error {
+	vs := &s.view
+	vs.repaired = true
+	m := s.union.m
+	changed := vs.changed
+	var err error
+	for _, d := range ops {
+		if d.op == serve.OpInsert {
+			changed, _, err = m.InsertDirty(d.e.U, d.e.V, changed)
+		} else {
+			changed, _, err = m.DeleteDirty(d.e.U, d.e.V, changed)
+		}
+		if err != nil {
+			vs.changed = changed
+			return err
+		}
+	}
+	vs.changed = changed
+	return nil
+}
+
+// taintLocked invalidates the union view (caller holds viewMu). The
+// next cut compose pays one full peel, which also reseeds the view.
+// When cores were touched by repairs this window (hard, or any earlier
+// replay), the incremental gather view falls too: a repair may have
+// rewritten nodes no session ever reported dirty (a cut edge raises
+// cores across shards), and with the feed now broken those nodes would
+// never be re-gathered — so the next cut-free compose must be a full
+// gather.
+func (s *Sharded) taintLocked(hard bool) {
+	s.union = nil
+	if hard || s.view.repaired {
+		s.view.dirtyKnown = false
+	}
+}
+
+// resetViewLocked opens a fresh accumulation window after a compose
+// consumed the current one (caller holds viewMu).
+func (s *Sharded) resetViewLocked(totalEdges int64) {
+	vs := &s.view
+	vs.dirty = vs.dirty[:0]
+	vs.dirtyKnown = true
+	vs.changed = vs.changed[:0]
+	vs.repaired = false
+	vs.opsSince = 0
+	vs.totalEdges = totalEdges
+}

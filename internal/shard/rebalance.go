@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"kcore"
 	"kcore/internal/serve"
@@ -49,27 +50,79 @@ func (r RebalanceReport) CrossShardEdgeRatioAfter() float64 {
 // composite core numbers are unchanged — what changes is which session
 // holds which edge, and with it cross_shard_edge_ratio.
 //
-// Rebalance holds the compose freeze for its duration (concurrent
-// Enqueues block, Snapshots stay lock-free on the last composite epoch)
-// and finishes with a compose, so the returned report describes a
-// published, consistent state. It is an admin operation: one O(n+m)
-// adjacency scan plus maintenance work proportional to the migrated
-// edges.
+// The migration is incremental: staging (one O(n+m) adjacency scan plus
+// the assignment pass) runs under a full freeze, but the edge moves are
+// spread across compose generations, at most MigrateMaxEdges tracked
+// edges flipped per compose's phase A, with user traffic routing
+// normally in between (rebalance_pending_nodes gauges the remainder).
+// Convergence is guaranteed: every generation flips at least one node,
+// nodes are never re-added to the pending set, and concurrent updates
+// to still-pending nodes' edges only revise the tracked presence, never
+// the pending set. Rebalance drives composes until the plan drains and
+// returns a report describing the published, converged state. Only one
+// rebalance may be in flight at a time.
 func (s *Sharded) Rebalance() (RebalanceReport, error) {
+	var rep RebalanceReport
+	p, err := s.stageRebalance(&rep)
+	if err != nil || p == nil {
+		return rep, err
+	}
+
+	// Drain: each compose generation flips one bounded batch in its
+	// phase A. Concurrent Sync-leader composes advance the plan too;
+	// this loop only guarantees progress and detects completion.
+	for {
+		s.mu.RLock()
+		active := s.plan == p
+		s.mu.RUnlock()
+		if !active {
+			break
+		}
+		s.composeMu.Lock()
+		err := s.composeOnce()
+		s.composeMu.Unlock()
+		if err != nil {
+			s.mu.Lock()
+			if s.plan == p {
+				s.clearPlanLocked()
+			}
+			s.mu.Unlock()
+			return rep, err
+		}
+	}
+	// The plan is drained: migratedEdges is stable (only mutated under
+	// mu while the plan was installed, and we observed its removal under
+	// the same lock), and the last generation's compose refreshed the
+	// cut-edge gauge.
+	rep.MigratedEdges = p.migratedEdges
+	rep.CutEdgesAfter = s.sctr.Snapshot().CutEdges
+	s.sctr.NoteRebalance(rep.MovedNodes, rep.MigratedEdges)
+	return rep, nil
+}
+
+// stageRebalance computes the target assignment under a full freeze and
+// installs the migration plan. A nil plan with a nil error means the
+// assignment is already converged (the report is still filled in, and
+// one compose has published it).
+func (s *Sharded) stageRebalance(rep *RebalanceReport) (*migrationPlan, error) {
+	s.composeMu.Lock()
+	defer s.composeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var rep RebalanceReport
 	if s.closed {
-		return rep, serve.ErrClosed
+		return nil, serve.ErrClosed
+	}
+	if s.plan != nil {
+		return nil, fmt.Errorf("shard: rebalance already in progress")
 	}
 	// Quiesce in-flight traffic so the scan sees the graph every session
 	// has actually applied.
 	if err := s.syncSessions(); err != nil {
-		return rep, err
+		return nil, err
 	}
 	adj, edges, err := s.scanAdjacency()
 	if err != nil {
-		return rep, err
+		return nil, err
 	}
 	rep.TotalEdges = int64(len(edges))
 	rep.CutEdgesBefore = s.graphs[s.nshards].NumEdges()
@@ -78,64 +131,23 @@ func (s *Sharded) Rebalance() (RebalanceReport, error) {
 		return adj[v], nil
 	})
 	if err != nil {
-		return rep, err
+		return nil, err
 	}
-	for v := uint32(0); v < s.n; v++ {
-		if newAssign[v] != s.assign[v] {
-			rep.MovedNodes++
+	p := newMigrationPlan(s.assign, newAssign, edges)
+	rep.MovedNodes = len(p.pendingSet)
+	if rep.MovedNodes == 0 {
+		// Already converged; publish a fresh composite so the report's
+		// after-gauge describes a published state.
+		if err := s.composeHeldLocked(time.Now(), false); err != nil {
+			return nil, err
 		}
+		rep.CutEdgesAfter = s.sctr.Snapshot().CutEdges
+		s.sctr.NoteRebalance(0, 0)
+		return nil, nil
 	}
-
-	owner := func(assign []int32, e kcore.Edge) int {
-		if assign[e.U] == assign[e.V] {
-			return int(assign[e.U])
-		}
-		return s.nshards
-	}
-	// Migrate through the normal update path. The delete and the insert
-	// go to different sessions (disjoint queues), so their relative
-	// order is free; each session sees a valid stream (the edge is
-	// present exactly where it is deleted, absent exactly where it is
-	// inserted). The migrating flag keeps these ops out of the delta
-	// accumulators: the union graph does not change.
-	s.migrating.Store(true)
-	migErr := func() error {
-		for _, e := range edges {
-			from, to := owner(s.assign, e), owner(newAssign, e)
-			if from == to {
-				continue
-			}
-			if err := s.sessions[from].Enqueue(serve.Update{Op: serve.OpDelete, U: e.U, V: e.V}); err != nil {
-				return fmt.Errorf("shard: migrate (%d,%d) out of session %d: %w", e.U, e.V, from, err)
-			}
-			if err := s.sessions[to].Enqueue(serve.Update{Op: serve.OpInsert, U: e.U, V: e.V}); err != nil {
-				return fmt.Errorf("shard: migrate (%d,%d) into session %d: %w", e.U, e.V, to, err)
-			}
-			// Keep the composite accounting invariant
-			// (enqueued = applied + rejected + annihilated) intact: the
-			// migration's two updates are real session traffic.
-			s.ctr.NoteEnqueued(2)
-			s.sctr.NoteRouted(1, from == s.nshards)
-			s.sctr.NoteRouted(1, to == s.nshards)
-			rep.MigratedEdges++
-		}
-		return s.syncSessions()
-	}()
-	s.migrating.Store(false)
-	if migErr != nil {
-		return rep, migErr
-	}
-
-	s.assign = newAssign
-	// Belt and braces: local cores moved sessions, so the next cut-free
-	// compose re-establishes the gather invariant with one full gather.
-	s.localsPure = false
-	if err := s.composeLocked(); err != nil {
-		return rep, err
-	}
-	rep.CutEdgesAfter = s.graphs[s.nshards].NumEdges()
-	s.sctr.NoteRebalance(rep.MovedNodes, rep.MigratedEdges)
-	return rep, nil
+	s.plan = p
+	s.sctr.SetRebalancePending(len(p.order))
+	return p, nil
 }
 
 // scanAdjacency reads the quiescent session graphs once into an edge

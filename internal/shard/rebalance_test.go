@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"sync"
 	"testing"
 
 	"kcore"
@@ -127,6 +128,173 @@ func TestRebalanceReducesCutAndPreservesState(t *testing.T) {
 
 	// The engine must remain exact under further mixed workload.
 	conformRounds(t, sh, single, nodes, seed, edgesFromCSRList(edges))
+}
+
+// TestIncrementalRebalanceConverges forces the incremental migration
+// into many tiny generations (MigrateMaxEdges far below the edge count)
+// and pins the convergence contract: the rebalance drains to completion
+// across multiple composes, the pending gauge returns to zero, the
+// migration counters agree with the report, and the served decomposition
+// is bit-identical throughout (the union graph is untouched).
+func TestIncrementalRebalanceConverges(t *testing.T) {
+	const blocks, blockNodes = 3, 70
+	seed := testutil.Seed(t, 43)
+	nodes := uint32(blocks) * blockNodes
+	edges := testutil.BlockDiagonalSocial(blocks, blockNodes, seed)
+	edges = append(edges, testutil.CrossBlockEdges(blocks, blockNodes, 6, seed+100)...)
+	g := openBase(t, testutil.WriteEdges(t, nodes, edges))
+
+	sh, err := shard.New(g, &shard.Options{Shards: blocks, MigrateMaxEdges: 8}) // hash: bad cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	before := sh.Snapshot()
+	composesBefore := sh.ShardStats().Routing.Composes
+	rep, err := sh.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MovedNodes == 0 || rep.MigratedEdges == 0 {
+		t.Fatalf("expected movement from hash to ldg on a clustered graph, got nodes=%d edges=%d",
+			rep.MovedNodes, rep.MigratedEdges)
+	}
+	routing := sh.ShardStats().Routing
+	generations := routing.Composes - composesBefore
+	t.Logf("incremental rebalance: moved %d nodes, migrated %d edges across %d compose generations",
+		rep.MovedNodes, rep.MigratedEdges, generations)
+	if generations < 2 {
+		t.Fatalf("MigrateMaxEdges=8 rebalance converged in %d generations, want a multi-generation drain", generations)
+	}
+	if routing.RebalancePending != 0 {
+		t.Fatalf("rebalance_pending_nodes = %d after convergence, want 0", routing.RebalancePending)
+	}
+	if routing.Rebalances != 1 {
+		t.Fatalf("rebalances counter = %d, want 1", routing.Rebalances)
+	}
+	if routing.MigratedEdges != int64(rep.MigratedEdges) || routing.MigratedNodes != int64(rep.MovedNodes) {
+		t.Fatalf("migration counters (%d nodes, %d edges) disagree with the report (%d, %d)",
+			routing.MigratedNodes, routing.MigratedEdges, rep.MovedNodes, rep.MigratedEdges)
+	}
+	if rep.CutEdgesAfter >= rep.CutEdgesBefore {
+		t.Fatalf("rebalance did not reduce the cut: %d -> %d", rep.CutEdgesBefore, rep.CutEdgesAfter)
+	}
+	if gauge := routing.CutEdges; gauge != rep.CutEdgesAfter {
+		t.Fatalf("cut-edge gauge %d != report's after-count %d", gauge, rep.CutEdgesAfter)
+	}
+	after := sh.Snapshot()
+	if after.NumEdges != before.NumEdges {
+		t.Fatalf("rebalance changed the edge count: %d -> %d", before.NumEdges, after.NumEdges)
+	}
+	for v := uint32(0); v < nodes; v++ {
+		if b, a := before.CoreAt(v), after.CoreAt(v); b != a {
+			t.Fatalf("rebalance changed core(%d): %d -> %d", v, b, a)
+		}
+	}
+	if st := sh.Stats(); st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+}
+
+// TestIncrementalRebalanceUnderLoad is the replayable (-seed) race probe
+// for the whole PR-7 surface at once: a tiny MigrateMaxEdges spreads one
+// rebalance across many compose generations while toggle-stream writers
+// route updates into phase-B windows and into still-pending nodes' edges
+// (exercising the tracked-presence path), with Sync hammers forcing the
+// composes. The end state must agree exactly with a single-engine oracle
+// fed the same per-worker streams.
+func TestIncrementalRebalanceUnderLoad(t *testing.T) {
+	const blocks, blockNodes = 3, 64
+	seed := testutil.Seed(t, 59)
+	nodes := uint32(blocks) * blockNodes
+	raw := testutil.BlockDiagonalSocial(blocks, blockNodes, seed)
+	raw = append(raw, testutil.CrossBlockEdges(blocks, blockNodes, 6, seed+100)...)
+	base := testutil.WriteEdges(t, nodes, raw)
+	gShard := openBase(t, base)
+	gSingle := openBase(t, base)
+
+	sh, err := shard.New(gShard, &shard.Options{
+		Shards:          blocks,
+		MigrateMaxEdges: 4,
+		Serve:           serve.Options{MaxBatch: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gSingle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	live := edgesFromCSRList(raw)
+	const workers = 3
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := live[w*len(live)/workers : (w+1)*len(live)/workers]
+			for i := 0; i < opsPerWorker; i++ {
+				e := own[i%len(own)]
+				op := serve.OpDelete
+				if (i/len(own))%2 == 1 {
+					op = serve.OpInsert
+				}
+				up := serve.Update{Op: op, U: e.U, V: e.V}
+				if err := sh.Enqueue(up); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				if err := single.Enqueue(up); err != nil {
+					t.Errorf("single enqueue: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			if err := sh.Sync(); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+		}
+	}()
+	rep, err := sh.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	wg.Wait()
+
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	routing := sh.ShardStats().Routing
+	if routing.RebalancePending != 0 {
+		t.Fatalf("rebalance_pending_nodes = %d after convergence, want 0", routing.RebalancePending)
+	}
+	if routing.Rebalances != 1 {
+		t.Fatalf("rebalances counter = %d, want 1", routing.Rebalances)
+	}
+	if rep.MovedNodes == 0 {
+		t.Fatal("expected movement from hash to ldg on a clustered graph")
+	}
+	st := sh.Stats()
+	if st.Applied+st.Rejected+st.Annihilated != st.Enqueued {
+		t.Fatalf("accounting invariant broken: applied(%d)+rejected(%d)+annihilated(%d) != enqueued(%d)",
+			st.Applied, st.Rejected, st.Annihilated, st.Enqueued)
+	}
+	compareEpochs(t, 0, sh.Snapshot(), single.Snapshot())
 }
 
 // conformRounds drives a few rounds of the standard stream through both

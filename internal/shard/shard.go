@@ -73,6 +73,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,15 +105,27 @@ type Options struct {
 	// for the O(changed) repair path (peel_repair_speedup in
 	// BENCH_serve.json); leave it off in production.
 	FullPeelComposes bool
-	// RepairMaxEdges caps how many delta edges one compose may replay
-	// through the region repair before falling back to the full peel.
-	// 0 selects the automatic threshold max(64, totalEdges/8). Tests use
-	// small values to force the fallback regime deterministically.
+	// RepairMaxEdges caps how many delta edges one compose window may
+	// replay through the region repair before the union view is dropped
+	// and the next cut compose falls back to the full peel. 0 selects
+	// the automatic threshold max(64, totalEdges/8). Tests use small
+	// values to force the fallback regime deterministically.
 	RepairMaxEdges int
-	// Serve tunes every per-session writer. Counters, OnPublish, and
-	// OnApply are overridden (each session gets private counters;
-	// OnPublish feeds the compose dirty accumulator, OnApply the union
-	// view's edge-delta feed).
+	// MigrateMaxEdges bounds how many owner-changed edges one compose
+	// generation migrates during an incremental Rebalance (at least one
+	// node's edges always move, so the plan converges). 0 selects 4096.
+	MigrateMaxEdges int
+	// SerialComposes runs every compose whole under the exclusive
+	// routing lock — the pre-two-phase behavior, kept as the baseline
+	// for compose_stall_speedup in BENCH_serve.json and as a diagnostic
+	// escape hatch; leave it off in production.
+	SerialComposes bool
+	// Serve tunes every per-session writer. Counters, OnPublish,
+	// OnApply, and OnApplyInternal are overridden (each session gets
+	// private counters; the callbacks feed the composer's per-session
+	// record feeds). ApplyWorkers == 0 selects the multi-core default
+	// min(max(GOMAXPROCS/(shards+1), 1), 4); set it to 1 to force the
+	// sequential writer.
 	Serve serve.Options
 	// WorkDir holds the derived per-shard graph files (N+1 graphs, built
 	// by scattering the base graph at construction). Empty selects a
@@ -131,6 +144,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 2
+	}
+	if o.MigrateMaxEdges <= 0 {
+		o.MigrateMaxEdges = 4096
 	}
 	if o.Counters == nil {
 		o.Counters = new(stats.ServeCounters)
@@ -158,79 +174,89 @@ func RangePartition(n uint32) func(v uint32, shards int) int {
 	}
 }
 
-// dirtyAcc accumulates one session's published dirty sets and applied
-// edge deltas between composes. It is appended to from that session's
-// writer goroutine (via OnPublish and OnApply) and drained by the
-// composer under the engine's write lock.
-type dirtyAcc struct {
-	mu      sync.Mutex
-	nodes   []uint32
-	unknown bool // a publish did not report its dirty set: force a full gather
-
-	// ops is the session's applied net edge operations in apply order —
-	// the delta feed that keeps the cross-shard union view patched
-	// without rescans. overflow marks a feed that dropped ops (bounded
-	// memory); the composer must then discard the union view.
-	ops      []edgeDelta
-	overflow bool
-}
-
 // Sharded is a multi-writer engine: N per-shard serve.ConcurrentSessions
 // plus one cut session, behind the same interface as a single session
 // (it implements engine.Engine). See the package comment for the
 // partition, merge, and consistency model.
+//
+// Lock order (outermost first): composeMu > mu > viewMu > feed.mu, with
+// syncMu and the migration plan's locks leaves (never held across any of
+// the others' acquisition).
 type Sharded struct {
 	n       uint32
 	nshards int // N; sessions has N+1 entries, the cut session last
 
 	graphs   []*kcore.Graph
 	sessions []*serve.ConcurrentSession
-	acc      []dirtyAcc
+	feeds    []feed // per-session delta record feeds (patcher.go)
 	dir      string
 	ownDir   bool
 
-	fullPeel  bool // Options.FullPeelComposes: baseline/oracle mode
-	repairMax int  // Options.RepairMaxEdges
+	fullPeel   bool // Options.FullPeelComposes: baseline/oracle mode
+	repairMax  int  // Options.RepairMaxEdges
+	migrateMax int  // Options.MigrateMaxEdges
+	serial     bool // Options.SerialComposes: whole-compose freeze baseline
 
 	ctr  *stats.ServeCounters // composite counters
 	sctr stats.ShardCounters  // routing / compose counters
 
-	// mu is the route/compose seam: Enqueue holds it shared (routing is
-	// concurrent across callers), compose holds it exclusively so the
-	// barrier covers everything ever routed. closed and assign are
-	// guarded by it (assign is read under the shared lock, rewritten
-	// only by Rebalance under the exclusive lock).
+	// composeMu serializes composes (and with them every writer of the
+	// composer state below): Sync leaders, Rebalance, Close, and New all
+	// take it around composeOnce. Routing never touches it.
+	composeMu sync.Mutex
+
+	// mu is the route/freeze seam: Enqueue holds it shared (routing is
+	// concurrent across callers); a compose holds it exclusively only
+	// for phase A (watermark capture, migration flip) and the final
+	// publication — the microsecond windows that are the whole point of
+	// the two-phase design. closed, assign, and plan are guarded by it
+	// (read under the shared lock, rewritten under the exclusive lock).
 	mu     sync.RWMutex
 	closed bool
 	assign []int32 // node -> shard assignment table (the owner rule)
 
+	// plan, when non-nil, is the in-flight incremental Rebalance
+	// (migrate.go): Enqueue tracks updates to edges it stages, and every
+	// compose's phase A flips one bounded batch of it.
+	plan *migrationPlan
+
 	// syncMu guards the group-commit enrollment window: Syncs arriving
 	// while another caller is already headed into a compose join that
-	// caller's group instead of queueing up for a freeze+compose of
-	// their own. Lock order is mu before syncMu (the leader closes
-	// enrollment while holding mu exclusively); syncMu is never held
-	// while acquiring mu.
+	// caller's group instead of queueing up for a compose of their own.
+	// syncMu is never held while acquiring any other lock.
 	syncMu  sync.Mutex
 	pending *composeGroup
 
 	cur    atomic.Pointer[serve.Epoch] // last composite epoch
 	routed atomic.Int64                // updates forwarded to sessions
 
-	// migrating marks a Rebalance's own delete/insert traffic: the
-	// session writers' OnApply callbacks skip recording it, because
-	// migration reroutes edges between sessions without changing the
-	// union graph the delta feed describes.
-	migrating atomic.Bool
+	// viewMu guards the union view, the composite core array, and the
+	// per-window view state, shared between the background patcher and
+	// the composer's build step. It is acquired with mu released (or
+	// after mu, in the escalated stop-the-world paths) and never the
+	// other way round.
+	viewMu sync.Mutex
+	cores  []uint32   // composite core numbers (union-view frontier)
+	union  *unionView // persistent cross-shard union view, nil until first peel
+	view   viewState  // window accumulation since the last compose
 
-	// Composer-owned state (only touched under mu held exclusively).
-	cores         []uint32    // composite core numbers as of the last compose
-	localsPure    bool        // cores came from the gather path (locals are exact)
-	union         *unionView  // persistent cross-shard union view, nil until first peel
-	seq           uint64      // next composite epoch sequence number
-	composedUpTo  int64       // routed count covered by the last compose
-	scratchDirty  []uint32    // reusable buffer for drained dirty sets
-	scratchOps    []edgeDelta // reusable buffer for drained edge deltas
+	// Background patcher plumbing (patcher.go).
+	patchSignal chan struct{}
+	patchQuit   chan struct{}
+	patchWG     sync.WaitGroup
+
+	// Composer-owned state (guarded by composeMu; composedUpTo is
+	// additionally written only under mu so Sync's fast path may read it
+	// under the shared lock).
+	localsPure    bool   // cores came from the gather path (locals are exact)
+	seq           uint64 // next composite epoch sequence number
+	composedUpTo  int64  // routed count covered by the last compose
 	scratchEpochs []*serve.Epoch
+
+	// testPhaseBGate, when non-nil, runs at the start of every phase B
+	// (exclusive lock released, compose still in flight). Tests use it
+	// to hold a compose open while probing concurrent routing.
+	testPhaseBGate func()
 }
 
 // New scatters base's edges into N+1 per-session graphs under the work
@@ -254,14 +280,16 @@ func New(base *kcore.Graph, opts *Options) (*Sharded, error) {
 	}
 
 	s := &Sharded{
-		n:         base.NumNodes(),
-		nshards:   o.Shards,
-		dir:       dir,
-		ownDir:    ownDir,
-		fullPeel:  o.FullPeelComposes,
-		repairMax: o.RepairMaxEdges,
-		ctr:       o.Counters,
-		cores:     make([]uint32, base.NumNodes()),
+		n:          base.NumNodes(),
+		nshards:    o.Shards,
+		dir:        dir,
+		ownDir:     ownDir,
+		fullPeel:   o.FullPeelComposes,
+		repairMax:  o.RepairMaxEdges,
+		migrateMax: o.MigrateMaxEdges,
+		serial:     o.SerialComposes,
+		ctr:        o.Counters,
+		cores:      make([]uint32, base.NumNodes()),
 	}
 	if err := s.initAssign(base, o); err != nil {
 		s.teardown()
@@ -271,9 +299,9 @@ func New(base *kcore.Graph, opts *Options) (*Sharded, error) {
 		s.teardown()
 		return nil, err
 	}
-	s.mu.Lock()
-	err := s.composeLocked()
-	s.mu.Unlock()
+	s.composeMu.Lock()
+	err := s.composeOnce()
+	s.composeMu.Unlock()
 	if err != nil {
 		s.Close() //nolint:errcheck // compose error wins
 		return nil, err
@@ -296,7 +324,9 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 
 	s.graphs = make([]*kcore.Graph, nsess)
 	s.sessions = make([]*serve.ConcurrentSession, nsess)
-	s.acc = make([]dirtyAcc, nsess)
+	s.feeds = make([]feed, nsess)
+	s.patchSignal = make(chan struct{}, 1)
+	s.patchQuit = make(chan struct{})
 	errs := make([]error, nsess)
 	var wg sync.WaitGroup
 	for i := 0; i < nsess; i++ {
@@ -315,40 +345,35 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 			}
 			s.graphs[i] = g
 			so := o.Serve
-			so.Counters = new(stats.ServeCounters)
-			acc := &s.acc[i]
-			so.OnPublish = func(e *serve.Epoch) {
-				acc.mu.Lock()
-				switch d := e.Dirty(); {
-				case len(d) > 0:
-					acc.nodes = append(acc.nodes, d...)
-				case e.Seq > 0 && d == nil && e.Applied > 0:
-					// A post-startup publish without a dirty set (the
-					// full-copy fallback): the gather path can no longer
-					// trust its incremental view.
-					acc.unknown = true
+			if so.ApplyWorkers == 0 {
+				// Multi-core shards by default: split the machine across
+				// the N+1 writers, capped where the region-parallel flush
+				// stops paying (see internal/serve/parallel.go).
+				w := runtime.GOMAXPROCS(0) / (s.nshards + 1)
+				if w < 1 {
+					w = 1
 				}
-				acc.mu.Unlock()
+				if w > 4 {
+					w = 4
+				}
+				so.ApplyWorkers = w
 			}
+			so.Counters = new(stats.ServeCounters)
+			f := &s.feeds[i]
+			// The three callbacks run on the session's writer goroutine
+			// in a documented order — OnApply(Internal) immediately
+			// before the flush's OnPublish — which is what lets noteApply
+			// stage ops without a lock and notePublish pair them with the
+			// epoch's exact dirty set in one sealed record.
 			so.OnApply = func(deletes, inserts []kcore.Edge) {
-				if s.migrating.Load() {
-					// Rebalance traffic reroutes edges between sessions
-					// without changing the union graph: not a delta.
-					return
-				}
-				acc.mu.Lock()
-				if !acc.overflow {
-					for _, e := range deletes {
-						acc.ops = append(acc.ops, edgeDelta{op: serve.OpDelete, e: e})
-					}
-					for _, e := range inserts {
-						acc.ops = append(acc.ops, edgeDelta{op: serve.OpInsert, e: e})
-					}
-					if len(acc.ops) > maxAccumulatedDeltaOps {
-						acc.ops, acc.overflow = nil, true
-					}
-				}
-				acc.mu.Unlock()
+				f.noteApply(deletes, inserts, false)
+			}
+			so.OnApplyInternal = func(deletes, inserts []kcore.Edge) {
+				f.noteApply(deletes, inserts, true)
+			}
+			so.OnPublish = func(e *serve.Epoch) {
+				f.notePublish(e)
+				s.signalPatcher()
 			}
 			sess, err := serve.New(g, &so)
 			if err != nil {
@@ -364,6 +389,8 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 			return err
 		}
 	}
+	s.patchWG.Add(1)
+	go s.patcher()
 	return nil
 }
 
@@ -397,14 +424,29 @@ func (s *Sharded) Snapshot() *serve.Epoch { return s.cur.Load() }
 // blocking only on per-shard backpressure. Routing is concurrent across
 // callers (a shared lock); only a compose barrier briefly excludes it.
 func (s *Sharded) Enqueue(ups ...serve.Update) error {
+	// Time the lock acquisition: waits here are the compose stall the
+	// two-phase design bounds, surfaced as enqueue_block_hist_us_log2.
+	t0 := time.Now()
 	s.mu.RLock()
+	s.sctr.NoteEnqueueBlock(int64(time.Since(t0)))
 	defer s.mu.RUnlock()
 	if s.closed {
 		return serve.ErrClosed
 	}
 	for _, up := range ups {
 		i, cross := s.route(up.U, up.V)
-		if err := s.sessions[i].Enqueue(up); err != nil {
+		var err error
+		if p := s.plan; p != nil && p.tracks(up.U, up.V, s.n) {
+			// An in-flight incremental rebalance stages this edge: record
+			// the update's net presence effect under the edge's stripe
+			// lock, held across the session enqueue so the recorded order
+			// matches the writer's queue order even when two callers race
+			// opposing ops on the same edge (migrate.go).
+			err = p.enqueueTracked(s.sessions[i], up)
+		} else {
+			err = s.sessions[i].Enqueue(up)
+		}
+		if err != nil {
 			return err
 		}
 		// Count per update, not per call: a mid-batch failure must leave
@@ -441,15 +483,16 @@ type composeGroup struct {
 // Sync blocks until every update enqueued before the call is applied and
 // covered by a composite epoch — the read-your-writes barrier.
 //
-// Concurrent Syncs group-commit instead of serializing one freeze+compose
-// each: a Sync that finds another caller already headed into a compose
-// enrolls in that caller's group and waits for its ack. The coverage
-// argument: a follower's prior updates were routed (routed.Add) before
-// its Sync call, hence before its enrollment; the leader closes
-// enrollment after acquiring the exclusive lock and reads the routed
-// watermark after that, so the leader's compose barrier covers every
-// enrolled follower's updates. One compose therefore acks the whole
-// group (group_commits / sync_waiters_coalesced in ShardStats).
+// Concurrent Syncs group-commit instead of serializing one compose each:
+// a Sync that finds another caller already headed into a compose enrolls
+// in that caller's group and waits for its ack. The coverage argument: a
+// follower's prior updates were routed (routed.Add) before its Sync
+// call, hence before its enrollment; the leader's compose closes
+// enrollment during phase A — under the exclusive lock — and reads the
+// routed watermark after that, so the watermark its phase-B barrier
+// covers is at or past every enrolled follower's updates. One compose
+// therefore acks the whole group (group_commits /
+// sync_waiters_coalesced in ShardStats).
 //
 // A Sync that finds nothing routed since the last compose returns
 // without recomposing — it runs the per-session barriers under the
@@ -485,23 +528,31 @@ func (s *Sharded) Sync() error {
 	s.pending = g
 	s.syncMu.Unlock()
 
-	// Leader: freeze the engine, close enrollment, compose once.
-	s.mu.Lock()
-	s.syncMu.Lock()
-	s.pending = nil
-	s.syncMu.Unlock()
+	// Leader: serialize behind any in-flight compose, then compose once.
+	// composeOnce's phase A closes enrollment under the exclusive lock;
+	// the explicit clear below covers the paths that never reach it.
+	s.composeMu.Lock()
 	var err error
+	s.mu.RLock()
 	switch {
 	case s.closed:
+		s.mu.RUnlock()
 		err = serve.ErrClosed
 	case s.routed.Load() == s.composedUpTo:
-		// Another compose (a Close, or a leader that won the lock race)
-		// already covered the whole group.
+		// Another compose (a Close, or a leader that won the race into
+		// composeMu) already covered the whole group.
+		s.mu.RUnlock()
 		err = s.syncSessions()
 	default:
-		err = s.composeLocked()
+		s.mu.RUnlock()
+		err = s.composeOnce()
 	}
-	s.mu.Unlock()
+	s.composeMu.Unlock()
+	s.syncMu.Lock()
+	if s.pending == g {
+		s.pending = nil
+	}
+	s.syncMu.Unlock()
 	s.sctr.NoteGroupCommit(g.n)
 	g.err = err
 	close(g.done)
@@ -589,6 +640,8 @@ func (s *Sharded) NumShards() int { return s.nshards }
 // graph files when the engine owns its work directory). The last
 // composite epoch stays readable.
 func (s *Sharded) Close() error {
+	s.composeMu.Lock()
+	defer s.composeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -596,7 +649,9 @@ func (s *Sharded) Close() error {
 	}
 	var err error
 	if s.routed.Load() != s.composedUpTo {
-		err = s.composeLocked()
+		// Final compose, fully under the exclusive lock: routing is shut
+		// out for good anyway, and the held path may peel directly.
+		err = s.composeHeldLocked(time.Now(), false)
 	}
 	s.closed = true
 	if cerr := s.teardown(); err == nil {
@@ -605,9 +660,14 @@ func (s *Sharded) Close() error {
 	return err
 }
 
-// teardown stops the sessions in parallel and releases graphs and the
-// owned work directory, keeping the first error.
+// teardown stops the patcher and the sessions (in parallel) and releases
+// graphs and the owned work directory, keeping the first error.
 func (s *Sharded) teardown() error {
+	if s.patchQuit != nil {
+		close(s.patchQuit)
+		s.patchWG.Wait()
+		s.patchQuit = nil
+	}
 	errs := make([]error, len(s.sessions))
 	var wg sync.WaitGroup
 	for i, sess := range s.sessions {

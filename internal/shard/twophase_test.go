@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/serve"
+	"kcore/internal/testutil"
+)
+
+// TestTwoPhaseFreezeWindow is the freeze-window regression test for the
+// two-phase compose: it parks a compose at the start of phase B (via the
+// test gate) and demands that routing is *not* frozen there — concurrent
+// Enqueues and Snapshots must complete while the compose's expensive
+// half is still running. It then checks the watermark bookkeeping
+// white-box: the parked compose only covers updates routed before its
+// phase A, and the late-routed updates land in the next generation,
+// after which the engine agrees exactly with a single-engine oracle fed
+// the same stream.
+func TestTwoPhaseFreezeWindow(t *testing.T) {
+	const nodes = 160
+	seed := testutil.Seed(t, 53)
+	baseA, edges := testutil.WriteSocial(t, nodes, seed)
+	baseB, _ := testutil.WriteSocial(t, nodes, seed)
+	g, err := kcore.Open(baseA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gOracle, err := kcore.Open(baseB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gOracle.Close()
+
+	sh, err := New(g, &Options{Shards: 3, Serve: serve.Options{MaxBatch: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	single, err := serve.New(gOracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	enqueueBoth := func(ups []serve.Update) {
+		for _, up := range ups {
+			if err := sh.Enqueue(up); err != nil {
+				t.Errorf("sharded enqueue: %v", err)
+				return
+			}
+			if err := single.Enqueue(up); err != nil {
+				t.Errorf("oracle enqueue: %v", err)
+				return
+			}
+		}
+	}
+	deletes := func(es []kcore.Edge) []serve.Update {
+		ups := make([]serve.Update, 0, len(es))
+		for _, e := range es {
+			ups = append(ups, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+		}
+		return ups
+	}
+
+	// Route a first tranche so the Sync below has something to compose.
+	early := deletes(edges[:10])
+	enqueueBoth(early)
+	routedEarly := sh.routed.Load()
+
+	// Park the next compose at the start of phase B (mu released).
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var fired atomic.Bool
+	sh.testPhaseBGate = func() {
+		if fired.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+	syncErr := make(chan error, 1)
+	go func() { syncErr <- sh.Sync() }()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("compose never reached phase B")
+	}
+
+	// Phase B is parked. Routing must proceed: these Enqueues (and the
+	// lock-free Snapshot) completing is the whole point of the redesign —
+	// under the old whole-compose freeze they would block here until the
+	// gate released.
+	late := deletes(edges[10:20])
+	lateDone := make(chan struct{})
+	go func() {
+		enqueueBoth(late)
+		close(lateDone)
+	}()
+	select {
+	case <-lateDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Enqueue blocked while compose phase B was running — freeze window is not bounded")
+	}
+	if sh.Snapshot() == nil {
+		t.Fatal("Snapshot unreadable during phase B")
+	}
+
+	close(release)
+	if err := <-syncErr; err != nil {
+		t.Fatalf("parked Sync: %v", err)
+	}
+
+	// Watermark bookkeeping: the parked compose covers exactly the
+	// updates routed before its phase A; the late tranche is routed but
+	// not yet covered, so it belongs to the next generation.
+	sh.mu.RLock()
+	covered, routedNow := sh.composedUpTo, sh.routed.Load()
+	sh.mu.RUnlock()
+	if covered < routedEarly {
+		t.Fatalf("composedUpTo = %d, want >= %d (watermark must cover pre-compose updates)", covered, routedEarly)
+	}
+	if covered >= routedNow {
+		t.Fatalf("composedUpTo = %d, routed = %d: late-routed updates cannot be covered by the parked compose", covered, routedNow)
+	}
+
+	// The next Sync's compose picks the late tranche up.
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sh.mu.RLock()
+	covered, routedNow = sh.composedUpTo, sh.routed.Load()
+	sh.mu.RUnlock()
+	if covered != routedNow {
+		t.Fatalf("after follow-up Sync composedUpTo = %d, routed = %d, want equal", covered, routedNow)
+	}
+	got, want := sh.Snapshot(), single.Snapshot()
+	if got.NumEdges != want.NumEdges {
+		t.Fatalf("edges = %d, want %d", got.NumEdges, want.NumEdges)
+	}
+	for v := uint32(0); v < nodes; v++ {
+		if g, w := got.CoreAt(v), want.CoreAt(v); g != w {
+			t.Fatalf("core(%d) = %d, want %d", v, g, w)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package shard
 
 import (
-	"fmt"
-
 	"kcore"
 	"kcore/internal/imcore"
 	"kcore/internal/memgraph"
@@ -18,43 +16,51 @@ import (
 // the affected region around its endpoints, the paper's locality
 // property carried through the sharded merge.
 //
+// Since the two-phase compose, patching is *eager*: a background patcher
+// goroutine (patcher.go) replays each session's applied flushes into the
+// view as they are published, so at compose time the view is already
+// current and the compose pays no replay work at all.
+//
 // The maintainer's Core slice aliases Sharded.cores, so the view's cores
 // are always exactly the composite cores: gather composes keep them
-// current for free (cut-free local cores are global cores), and repair
-// composes rewrite them in place while reporting the changed set.
+// current for free (cut-free local cores are global cores), and the
+// eager repairs rewrite them in place while accumulating the changed
+// set.
 //
 // Lifecycle: built lazily by the first full peel (the scan it already
-// pays for seeds the adjacency), kept patched by every later compose,
-// and dropped whenever its delta feed is no longer trustworthy (an
-// accumulator overflow, a replay error, or a lost dirty set) — the next
-// cut compose then pays one rebuild. A nil view is always safe: it only
+// pays for seeds the adjacency), kept patched continuously, and dropped
+// whenever its delta feed is no longer trustworthy (a feed overflow, a
+// replay error, or a window past the dirt threshold) — the next cut
+// compose then pays one rebuild. A nil view is always safe: it only
 // ever costs the PR-4 full peel.
 type unionView struct {
 	m *imcore.Maintainer
 }
 
 // edgeDelta is one net edge operation applied by a session writer, in
-// apply order. The per-compose drain replays these against the union
-// view; sessions own disjoint edge sets, so only the per-session order
-// matters and the session-by-session drain below preserves it.
+// apply order. The eager patcher replays these against the union view;
+// sessions own disjoint edge sets, so only the per-session order
+// matters and the record-by-record ingest preserves it.
 type edgeDelta struct {
 	op serve.Op
 	e  kcore.Edge
 }
 
-// maxAccumulatedDeltaOps bounds each session's delta accumulator between
-// composes. Past it the accumulator marks itself overflowed and drops
-// its ops; the composer then discards the union view (its feed has a
-// hole) and the next cut compose rebuilds. The bound only exists so a
-// caller that streams updates without ever calling Sync cannot grow the
-// accumulators without limit.
+// maxAccumulatedDeltaOps bounds each session's delta feed between
+// drains. Past it the feed marks itself overflowed and drops its op
+// stream (keeping the records' dirty sets); the patcher then discards
+// the union view (its feed has a hole, counted in delta_overflows) and
+// the next cut compose rebuilds. The bound only exists so a caller that
+// streams updates faster than the patcher drains cannot grow the feed
+// without limit.
 const maxAccumulatedDeltaOps = 1 << 20
 
-// repairFallbackFrac is the dirt threshold of the repair path: a compose
-// whose drained delta exceeds totalEdges/repairFallbackFrac (floor
-// repairFallbackMin) rebuilds via the full peel instead — past that much
-// churn the region repairs are no cheaper than one linear peel, the same
-// shape of bound the memo repair uses (memoRepairMaxFrac).
+// repairFallbackFrac is the dirt threshold of the repair path: a window
+// whose replayed delta exceeds totalEdges/repairFallbackFrac (floor
+// repairFallbackMin) stops patching and rebuilds via the full peel
+// instead — past that much churn the region repairs are no cheaper than
+// one linear peel, the same shape of bound the memo repair uses
+// (memoRepairMaxFrac).
 const (
 	repairFallbackFrac = 8
 	repairFallbackMin  = 64
@@ -71,54 +77,6 @@ func (s *Sharded) repairLimit(totalEdges int64) int {
 		limit = repairFallbackMin
 	}
 	return int(limit)
-}
-
-// patchUnionGraph replays the drained edge deltas against the union
-// view's adjacency only, leaving core maintenance to the caller — the
-// gather regimes use it, where the gathered local cores already are the
-// exact union cores. Any replay failure means the view and the sessions
-// disagree; the view is dropped rather than trusted.
-func (s *Sharded) patchUnionGraph(ops []edgeDelta) {
-	if s.union == nil {
-		return
-	}
-	g := s.union.m.G
-	for _, d := range ops {
-		var err error
-		if d.op == serve.OpInsert {
-			err = g.Insert(d.e.U, d.e.V)
-		} else {
-			err = g.Delete(d.e.U, d.e.V)
-		}
-		if err != nil {
-			s.union = nil
-			return
-		}
-	}
-}
-
-// repairUnion replays the drained edge deltas through the region-bounded
-// maintenance entry points, patching the union adjacency and repairing
-// the composite cores (Sharded.cores, aliased by the maintainer) in
-// place. It returns the set of nodes whose core number changed — a sound
-// superset with possible duplicates, exactly what the copy-on-write
-// snapshot and memo repair want. A replay failure leaves the view
-// corrupt; the caller must drop it and fall back to the full peel, which
-// recomputes from the real session graphs and so masks any partial
-// mutation this call made.
-func (s *Sharded) repairUnion(ops []edgeDelta) (changed []uint32, err error) {
-	m := s.union.m
-	for _, d := range ops {
-		if d.op == serve.OpInsert {
-			changed, _, err = m.InsertDirty(d.e.U, d.e.V, changed)
-		} else {
-			changed, _, err = m.DeleteDirty(d.e.U, d.e.V, changed)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("shard: union repair %s (%d,%d): %w", d.op, d.e.U, d.e.V, err)
-		}
-	}
-	return changed, nil
 }
 
 // buildUnionView constructs the persistent union view around a CSR just

@@ -1,6 +1,9 @@
 package stats
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // ShardCounters is the accounting substrate for the sharded engine
 // (internal/shard): update routing by shard class, compose-path shape,
@@ -28,7 +31,22 @@ type ShardCounters struct {
 
 	groupCommits         atomic.Int64 // composes that acked more than one Sync caller
 	syncWaitersCoalesced atomic.Int64 // follower Syncs acked by another caller's compose
+
+	deltaOverflows     atomic.Int64 // delta-feed overflows (union view dropped, not silent)
+	composeExclusiveNs atomic.Int64 // ns composes held the routing lock exclusively, cumulative
+	composeTotalNs     atomic.Int64 // ns composes ran end to end, cumulative
+	rebalancePending   atomic.Int64 // gauge: nodes awaiting incremental migration
+
+	// enqueueBlock is a log2-bucketed histogram of how long Enqueues
+	// waited for the routing lock: bucket 0 holds waits under 1µs (the
+	// uncontended fast path), bucket b holds waits in [2^(b-1), 2^b) µs.
+	enqueueBlock [enqueueBlockBuckets]atomic.Int64
 }
+
+// enqueueBlockBuckets spans <1µs up to >=2s of lock wait in power-of-two
+// steps — the full range from an uncontended RLock to a worst-case
+// whole-compose freeze.
+const enqueueBlockBuckets = 22
 
 // NoteRouted records n updates routed to one writer; cross marks the cut
 // session (an edge whose endpoints hash to different shards).
@@ -93,6 +111,46 @@ func (c *ShardCounters) NoteGroupCommit(waiters int) {
 	c.syncWaitersCoalesced.Add(int64(waiters))
 }
 
+// NoteDeltaOverflow records one session delta-feed overflow: the feed
+// dropped its op stream to bound memory, so the composer discarded the
+// union view and the next cut compose pays a full peel. A nonzero rate
+// here means callers stream updates far faster than they compose.
+func (c *ShardCounters) NoteDeltaOverflow() { c.deltaOverflows.Add(1) }
+
+// NoteComposeTimes records one compose's lock profile: how long it held
+// the routing lock exclusively (the stall concurrent Enqueues see) and
+// how long it ran end to end.
+func (c *ShardCounters) NoteComposeTimes(exclusiveNs, totalNs int64) {
+	c.composeExclusiveNs.Add(exclusiveNs)
+	c.composeTotalNs.Add(totalNs)
+}
+
+// NoteEnqueueBlock records one Enqueue's wait for the routing lock. The
+// histogram is arrival-weighted: a wait of w nanoseconds also stalls
+// every would-be arrival during those w nanoseconds, so the sample
+// counts once per elapsed 64µs slice on top of itself. Without that
+// correction a single multi-millisecond compose freeze would be one
+// sample among hundreds of thousands of uncontended ones and no
+// percentile could ever see it (the coordinated-omission trap: the
+// blocked caller submits fewer samples exactly when it is being hurt).
+func (c *ShardCounters) NoteEnqueueBlock(ns int64) {
+	b := 0
+	if us := ns / 1000; us > 0 {
+		b = bits.Len64(uint64(us))
+		if b >= enqueueBlockBuckets {
+			b = enqueueBlockBuckets - 1
+		}
+	}
+	c.enqueueBlock[b].Add(1 + ns>>16)
+}
+
+// SetRebalancePending updates the incremental-migration gauge: nodes
+// whose shard assignment is staged but not yet flipped. It reaches 0 when
+// the assignment table has converged.
+func (c *ShardCounters) SetRebalancePending(nodes int) {
+	c.rebalancePending.Store(int64(nodes))
+}
+
 // SetEdgeGauges updates the cut-edge and total-edge gauges observed at a
 // compose barrier.
 func (c *ShardCounters) SetEdgeGauges(cut, total int64) {
@@ -119,6 +177,18 @@ func (c *ShardCounters) Snapshot() ShardSnapshot {
 
 		GroupCommits:         c.groupCommits.Load(),
 		SyncWaitersCoalesced: c.syncWaitersCoalesced.Load(),
+
+		DeltaOverflows:     c.deltaOverflows.Load(),
+		ComposeExclusiveNs: c.composeExclusiveNs.Load(),
+		ComposeTotalNs:     c.composeTotalNs.Load(),
+		RebalancePending:   c.rebalancePending.Load(),
+
+		EnqueueBlockHist: func() (h [enqueueBlockBuckets]int64) {
+			for i := range c.enqueueBlock {
+				h[i] = c.enqueueBlock[i].Load()
+			}
+			return
+		}(),
 	}
 }
 
@@ -140,6 +210,38 @@ type ShardSnapshot struct {
 
 	GroupCommits         int64 `json:"group_commits"`
 	SyncWaitersCoalesced int64 `json:"sync_waiters_coalesced"`
+
+	DeltaOverflows     int64 `json:"delta_overflows"`
+	ComposeExclusiveNs int64 `json:"compose_exclusive_ns_sum"`
+	ComposeTotalNs     int64 `json:"compose_total_ns_sum"`
+	RebalancePending   int64 `json:"rebalance_pending_nodes"`
+
+	// EnqueueBlockHist is the arrival-weighted lock-wait histogram (see
+	// NoteEnqueueBlock): bucket 0 is <1µs, bucket b is [2^(b-1), 2^b) µs.
+	EnqueueBlockHist [enqueueBlockBuckets]int64 `json:"enqueue_block_hist_us_log2"`
+}
+
+// EnqueueBlockP99Ns reports the 99th percentile of the arrival-weighted
+// Enqueue lock-wait distribution — the headline compose-stall figure —
+// as the upper bound of its histogram bucket in nanoseconds (2x bucket
+// resolution; 0 when nothing was recorded).
+func (s ShardSnapshot) EnqueueBlockP99Ns() int64 {
+	var total int64
+	for _, n := range s.EnqueueBlockHist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := total - total/100
+	var cum int64
+	for b, n := range s.EnqueueBlockHist {
+		cum += n
+		if cum >= rank {
+			return 1000 << b
+		}
+	}
+	return 1000 << (enqueueBlockBuckets - 1)
 }
 
 // CrossShardUpdateRatio reports the fraction of routed updates that hit
