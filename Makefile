@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet doc bench bench-serve fuzz profile clean
+.PHONY: all test race vet doc bench bench-serve bench-wal crash-sweep fuzz profile clean
 
 all: test vet
 
@@ -44,6 +44,19 @@ fuzz:
 # kcore_cache_speedup) that later performance work is measured against.
 bench-serve:
 	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitServeBenchJSON -count=1 -v ./internal/serve
+
+# WAL overhead on the insert-flood fixture (durability off vs
+# fsync=never vs fsync=interval); merges the wal_overhead entry into
+# BENCH_serve.json without touching the serve grid.
+bench-wal:
+	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitWalBenchJSON -count=1 -v ./internal/engine
+
+# The crash-point fault-injection suite: the exhaustive boundary sweep
+# plus a longer randomized torn-write run. CRASHSEED pins a failing seed
+# for reproduction.
+CRASHSEED ?= 1
+crash-sweep:
+	$(GO) test -race -count=1 ./internal/engine -run 'TestCrash' -crashseed=$(CRASHSEED) -crashtrials=32
 
 # Interactive CPU profile of a running `kcored -pprof` instance (the
 # publish path, memo repairs, coalescing — whatever is hot). Override

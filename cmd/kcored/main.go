@@ -25,6 +25,14 @@
 // applies its batches with that many region-parallel workers, and the
 // default 0 sizes the product to the machine (GOMAXPROCS). See
 // internal/httpapi for the full route list.
+//
+// -data-dir turns on durability: every graph gets a write-ahead log and
+// checkpoints under <dir>/<name>/ (sync policy from -fsync, periodic
+// checkpoints from -checkpoint-every), SIGINT/SIGTERM shut down
+// gracefully (drain HTTP, final sync + checkpoint per graph), and a
+// restart with the same -data-dir recovers every graph from its latest
+// checkpoint + WAL tail before -graph/-load open anything anew (a
+// recovered name wins over its flag).
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"kcore/internal/engine"
 	"kcore/internal/httpapi"
 	"kcore/internal/serve"
+	"kcore/internal/wal"
 )
 
 // DefaultGraph is the registry name of the graph from -graph, the one
@@ -62,6 +71,9 @@ func main() {
 		shards    = flag.Int("shards", 1, "writers per graph: >= 2 shards every opened graph across that many parallel writers (plus a cut session for cross-shard edges); 1 keeps the single-writer engine")
 		parter    = flag.String("partitioner", "hash", "node partitioner for sharded graphs: hash, range, or ldg (locality-aware streaming assignment; shrinks the cross-shard edge ratio on clustered graphs)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux (see `make profile`); leave off in production")
+		dataDir   = flag.String("data-dir", "", "durability directory: every graph gets a write-ahead log and checkpoints under <dir>/<name>/, and a restart with the same -data-dir recovers all graphs (checkpoint + WAL replay) before opening any -graph/-load path anew")
+		fsyncPol  = flag.String("fsync", "interval", "WAL sync policy with -data-dir: always (fsync every batch), interval (background fsync; a crash may lose the last unsynced batches), never (fsync only at checkpoints/shutdown)")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir (0 disables periodic checkpoints; one is still taken at startup and on clean shutdown)")
 	)
 	extra := make(map[string]string)
 	flag.Func("load", "additional graph as name=path (repeatable)", func(s string) error {
@@ -76,12 +88,12 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if *graphBase == "" {
-		fmt.Fprintln(os.Stderr, "kcored: -graph is required")
+	if *graphBase == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "kcored: -graph is required (or -data-dir with recoverable graphs)")
 		os.Exit(2)
 	}
 
-	reg := engine.NewRegistry(&engine.Options{
+	opts := engine.Options{
 		Serve: serve.Options{
 			MaxBatch:      *batch,
 			FlushInterval: *flush,
@@ -89,19 +101,60 @@ func main() {
 			ApplyWorkers:  *applyW,
 		},
 		Open: kcore.OpenOptions{BlockSize: *blockSize},
-	})
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcored: -fsync: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Durability = &engine.DurabilityOptions{
+			Dir:             *dataDir,
+			Policy:          policy,
+			CheckpointEvery: *ckptEvery,
+		}
+	}
+	reg := engine.NewRegistry(&opts)
 	defer reg.Close()
 
-	fmt.Printf("kcored: decomposing %s\n", *graphBase)
-	eng, err := reg.OpenSharded(DefaultGraph, *graphBase, *shards, *parter)
-	if err != nil {
-		fatal(err)
+	recovered := make(map[string]bool)
+	if *dataDir != "" {
+		rep, err := reg.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kcored: %s\n", rep.Summary())
+		for _, g := range rep.Graphs {
+			if g.Err != nil {
+				fmt.Fprintf(os.Stderr, "kcored: graph %q unrecoverable: %v\n", g.Name, g.Err)
+				continue
+			}
+			recovered[g.Name] = true
+			if g.Degraded {
+				fmt.Printf("kcored: graph %q recovered DEGRADED (read-only): %s\n", g.Name, g.Reason)
+			}
+		}
+	}
+
+	if *graphBase != "" && !recovered[DefaultGraph] {
+		fmt.Printf("kcored: decomposing %s\n", *graphBase)
+		if _, err := reg.OpenSharded(DefaultGraph, *graphBase, *shards, *parter); err != nil {
+			fatal(err)
+		}
 	}
 	for name, path := range extra {
+		if recovered[name] {
+			fmt.Printf("kcored: graph %q already recovered from %s, skipping -load\n", name, *dataDir)
+			continue
+		}
 		fmt.Printf("kcored: decomposing %s (graph %q)\n", path, name)
 		if _, err := reg.OpenSharded(name, path, *shards, *parter); err != nil {
 			fatal(err)
 		}
+	}
+	eng, ok := reg.Get(DefaultGraph)
+	if !ok {
+		fatal(fmt.Errorf("no default graph: pass -graph, or a -data-dir containing a recovered %q graph", DefaultGraph))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -145,6 +198,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			srv.Close()
+		}
+		if *dataDir != "" {
+			fmt.Println("kcored: syncing and checkpointing graphs")
 		}
 	}
 }

@@ -1,0 +1,411 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+	"kcore/internal/faultfs"
+	"kcore/internal/serve"
+	"kcore/internal/stats"
+	"kcore/internal/wal"
+)
+
+// DurabilityOptions switches the registry into data-dir mode: every
+// opened graph gets a write-ahead log and checkpoints under
+// Dir/<name>/, and Recover rebuilds graphs from that state on startup.
+type DurabilityOptions struct {
+	// Dir is the data directory root; one subdirectory per graph.
+	Dir string
+	// Policy is the WAL sync policy (always / interval / never).
+	Policy wal.SyncPolicy
+	// SyncInterval is the background fsync cadence under the interval
+	// policy; 0 selects 100ms.
+	SyncInterval time.Duration
+	// CheckpointEvery is the background checkpoint period; 0 disables
+	// periodic checkpoints (they still happen on clean Close, after
+	// recovery, and via Checkpointer).
+	CheckpointEvery time.Duration
+	// SegmentBytes is the log segment roll threshold; 0 selects the WAL
+	// default.
+	SegmentBytes int64
+	// FS routes durability file operations; nil selects the real
+	// filesystem. The crash suite installs a faultfs.Injector.
+	FS faultfs.FS
+}
+
+func (o DurabilityOptions) withDefaults() DurabilityOptions {
+	if o.FS == nil {
+		o.FS = faultfs.OS
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ErrDegraded reports a write on a graph serving degraded read-only:
+// recovery found damage past repair, so mutations are refused while
+// reads keep working.
+var ErrDegraded = errors.New("engine: graph is degraded (read-only)")
+
+// Checkpointer is the optional engine extension for forcing a
+// checkpoint; durable engines implement it and the HTTP layer mounts it
+// at POST /g/{name}/checkpoint.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// DurabilityStatser is the optional engine extension exposing WAL and
+// recovery counters; surfaced under /g/{name}/stats.
+type DurabilityStatser interface {
+	DurabilityStats() stats.WalSnapshot
+}
+
+// Unwrapper lets wrapping engines (the durable shell) expose the engine
+// they decorate, so optional-interface discovery can see through them.
+type Unwrapper interface {
+	Unwrap() Engine
+}
+
+// as finds an implementation of the optional interface T on e or any
+// engine it wraps.
+func as[T any](e Engine) (T, bool) {
+	for {
+		if t, ok := e.(T); ok {
+			return t, true
+		}
+		u, ok := e.(Unwrapper)
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		e = u.Unwrap()
+	}
+}
+
+// AsShardStatser finds ShardStats support on e or any wrapped engine.
+func AsShardStatser(e Engine) (ShardStatser, bool) { return as[ShardStatser](e) }
+
+// AsRebalancer finds Rebalance support on e or any wrapped engine.
+func AsRebalancer(e Engine) (Rebalancer, bool) { return as[Rebalancer](e) }
+
+// AsCheckpointer finds Checkpoint support on e or any wrapped engine.
+func AsCheckpointer(e Engine) (Checkpointer, bool) { return as[Checkpointer](e) }
+
+// AsDurabilityStatser finds WAL stats support on e or any wrapped engine.
+func AsDurabilityStatser(e Engine) (DurabilityStatser, bool) {
+	return as[DurabilityStatser](e)
+}
+
+// walFailure is the sticky error after a WAL append or fsync fails:
+// the engine refuses new writes (applied-but-unlogged state would
+// silently diverge from what a restart recovers).
+type walFailure struct{ err error }
+
+// durable wraps an inner engine with the durability layer. It owns the
+// graph-level commit point: a single mutex ordering LSN allocation and
+// adjacency-mirror patches across all writer sessions, so the WAL is a
+// linearized redo log of exactly what the writers applied.
+type durable struct {
+	name  string
+	inner Engine
+	gd    *wal.GraphDir
+	ctr   *stats.WalCounters
+	opts  DurabilityOptions
+	g     *kcore.Graph // owned live graph handle (single-writer recovery); may be nil
+
+	mu     sync.Mutex // the commit point: guards lsn + mirror
+	lsn    uint64
+	mirror *wal.Mirror
+
+	enc [][]byte // per-session record scratch, owned by writer goroutines
+
+	replaying   atomic.Bool
+	broken      atomic.Pointer[walFailure]
+	degraded    bool // set before serving starts, immutable after
+	degradedErr error
+
+	ckptMu    sync.Mutex
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newDurable(name string, sessions int, opts DurabilityOptions) *durable {
+	d := &durable{
+		name: name,
+		ctr:  &stats.WalCounters{},
+		opts: opts,
+		enc:  make([][]byte, sessions),
+		quit: make(chan struct{}),
+	}
+	return d
+}
+
+// seedMirror populates the adjacency mirror from the graph the engine
+// will serve, before any update can flow.
+func (d *durable) seedMirror(g *kcore.Graph) error {
+	m := wal.NewMirror(g.NumNodes())
+	if err := g.VisitEdges(func(u, v uint32) error {
+		m.Seed(u, v)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.Finish()
+	d.mirror = m
+	return nil
+}
+
+// onApply is the durability hook, chained onto every writer session's
+// OnApply callback. It runs post-apply on the session's writer
+// goroutine with the exact net batch; under the commit point it stamps
+// the batch with the next LSN and patches the mirror, then appends the
+// framed record to the session's log outside the lock (appends within a
+// session are already ordered by its writer goroutine).
+func (d *durable) onApply(session int, deletes, inserts []kcore.Edge) {
+	if len(deletes)+len(inserts) == 0 {
+		return
+	}
+	if d.replaying.Load() {
+		// Recovery replays through the normal update path; the records
+		// already exist, so just keep the mirror in step.
+		d.mu.Lock()
+		d.mirror.Apply(deletes, inserts)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	d.lsn++
+	lsn := d.lsn
+	d.mirror.Apply(deletes, inserts)
+	d.mu.Unlock()
+	if d.broken.Load() != nil {
+		// The log already failed: the mirror must keep tracking what the
+		// writer applies (it is the state of record for the final
+		// checkpoint attempt), but appending out-of-order would corrupt
+		// the log further.
+		return
+	}
+	buf := wal.AppendRecord(d.enc[session][:0], lsn, deletes, inserts)
+	d.enc[session] = buf
+	if err := d.gd.Log(session).Append(buf, lsn); err != nil {
+		d.noteBroken(fmt.Errorf("engine: wal append (graph %q): %w", d.name, err))
+	}
+}
+
+func (d *durable) noteBroken(err error) {
+	if d.broken.CompareAndSwap(nil, &walFailure{err: err}) {
+		d.ctr.SetDegraded(true)
+	}
+}
+
+// markDegraded seals the engine read-only before it is published.
+func (d *durable) markDegraded(reason string) {
+	d.degraded = true
+	d.degradedErr = fmt.Errorf("%w: %s", ErrDegraded, reason)
+	d.ctr.SetDegraded(true)
+}
+
+// startLoops launches the background fsync ticker (interval policy) and
+// the periodic checkpointer.
+func (d *durable) startLoops() {
+	if d.opts.Policy == wal.SyncInterval && d.opts.SyncInterval > 0 {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			t := time.NewTicker(d.opts.SyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.quit:
+					return
+				case <-t.C:
+					if err := d.gd.SyncAll(); err != nil {
+						d.noteBroken(fmt.Errorf("engine: wal fsync (graph %q): %w", d.name, err))
+					}
+				}
+			}
+		}()
+	}
+	if d.opts.CheckpointEvery > 0 {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			t := time.NewTicker(d.opts.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.quit:
+					return
+				case <-t.C:
+					// Periodic checkpoints are best-effort: a failure
+					// leaves the previous checkpoints valid and the next
+					// tick retries.
+					d.checkpoint() //nolint:errcheck
+				}
+			}
+		}()
+	}
+}
+
+// checkpoint persists the mirror at its current LSN. It serializes with
+// other checkpoints, barriers the inner engine first so the mirror
+// covers everything enqueued so far, and stores the core numbers only
+// when the graph was quiescent across the capture (so the array
+// provably matches the adjacency at that LSN).
+func (d *durable) checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if err := d.inner.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	lsn := d.lsn
+	clone := d.mirror.Clone()
+	d.mu.Unlock()
+	ep := d.inner.Snapshot()
+	var cores []uint32
+	d.mu.Lock()
+	quiescent := d.lsn == lsn
+	d.mu.Unlock()
+	if quiescent {
+		cores = ep.Cores()
+	}
+	return d.gd.Checkpoint(lsn, clone, cores)
+}
+
+// replay feeds recovered records through the normal update path and
+// installs the recovered LSN watermark.
+func (d *durable) replay(recs []wal.Record) error {
+	for _, rec := range recs {
+		ups := make([]serve.Update, 0, len(rec.Deletes)+len(rec.Inserts))
+		for _, e := range rec.Deletes {
+			ups = append(ups, serve.Update{Op: serve.OpDelete, U: e.U, V: e.V})
+		}
+		for _, e := range rec.Inserts {
+			ups = append(ups, serve.Update{Op: serve.OpInsert, U: e.U, V: e.V})
+		}
+		if err := d.inner.Enqueue(ups...); err != nil {
+			return err
+		}
+	}
+	if err := d.inner.Sync(); err != nil {
+		return err
+	}
+	d.ctr.AddReplayed(int64(len(recs)))
+	return nil
+}
+
+// --- Engine interface ---
+
+func (d *durable) Snapshot() *serve.Epoch { return d.inner.Snapshot() }
+
+func (d *durable) Enqueue(ups ...serve.Update) error {
+	if d.degraded {
+		return d.degradedErr
+	}
+	if f := d.broken.Load(); f != nil {
+		return f.err
+	}
+	return d.inner.Enqueue(ups...)
+}
+
+func (d *durable) Apply(ups ...serve.Update) error {
+	if err := d.Enqueue(ups...); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// Sync is the durable commit point: after the inner barrier (all
+// submitted updates applied and published, so their records are
+// appended), every session log is fsynced before the Sync is
+// acknowledged — under the always and interval policies an acked Sync
+// therefore survives any crash.
+func (d *durable) Sync() error {
+	if d.degraded {
+		return d.degradedErr
+	}
+	if err := d.inner.Sync(); err != nil {
+		return err
+	}
+	if f := d.broken.Load(); f != nil {
+		return f.err
+	}
+	if err := d.gd.SyncAll(); err != nil {
+		d.noteBroken(fmt.Errorf("engine: wal fsync (graph %q): %w", d.name, err))
+		return d.broken.Load().err
+	}
+	return nil
+}
+
+func (d *durable) Counters() *stats.ServeCounters { return d.inner.Counters() }
+
+func (d *durable) Stats() stats.ServeSnapshot { return d.inner.Stats() }
+
+func (d *durable) IOStats() kcore.IOStats { return d.inner.IOStats() }
+
+func (d *durable) Unwrap() Engine { return d.inner }
+
+// DurabilityStats implements DurabilityStatser.
+func (d *durable) DurabilityStats() stats.WalSnapshot {
+	d.mu.Lock()
+	d.ctr.SetLSN(d.lsn)
+	d.mu.Unlock()
+	return d.ctr.Snapshot()
+}
+
+// Checkpoint implements Checkpointer.
+func (d *durable) Checkpoint() error {
+	if d.degraded {
+		return d.degradedErr
+	}
+	return d.checkpoint()
+}
+
+// Close stops the background loops, drains the inner engine, takes a
+// final checkpoint (clean shutdowns therefore restart with an empty
+// replay tail), then tears everything down. Resources are always
+// released, even when the durability layer is broken or crashed.
+func (d *durable) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.quit)
+		d.wg.Wait()
+		var firstErr error
+		if !d.degraded {
+			syncErr := d.inner.Sync()
+			if syncErr == nil && d.broken.Load() == nil {
+				firstErr = d.checkpoint()
+			} else if firstErr == nil {
+				firstErr = syncErr
+			}
+			if err := d.gd.SyncAll(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if d.gd != nil {
+			if err := d.gd.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := d.inner.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if d.g != nil {
+			if err := d.g.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f := d.broken.Load(); f != nil && firstErr == nil {
+			firstErr = f.err
+		}
+		d.closeErr = firstErr
+	})
+	return d.closeErr
+}

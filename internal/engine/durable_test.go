@@ -1,0 +1,473 @@
+package engine_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"kcore"
+	"kcore/internal/engine"
+	"kcore/internal/gen"
+	"kcore/internal/serve"
+	"kcore/internal/wal"
+)
+
+// durableOptions returns registry options putting the registry in
+// data-dir mode with the always-fsync policy (so every acked Sync is a
+// durable commit) and one update per batch (so the WAL/oracle
+// correspondence is exact).
+func durableOptions(dataDir string) *engine.Options {
+	return &engine.Options{
+		Serve: serve.Options{MaxBatch: 1},
+		Durability: &engine.DurabilityOptions{
+			Dir:    dataDir,
+			Policy: wal.SyncAlways,
+		},
+	}
+}
+
+// freshEdges picks count edges absent from the writeGraph(n, seed)
+// fixture, deterministically.
+func freshEdges(n uint32, seed int64, count int) []serve.Update {
+	present := make(map[[2]uint32]bool)
+	for _, e := range gen.Social(n, 3, 8, 8, seed) {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		present[[2]uint32{u, v}] = true
+	}
+	var ups []serve.Update
+	for u := uint32(0); u < n && len(ups) < count; u++ {
+		for v := u + 1; v < n && len(ups) < count; v++ {
+			if !present[[2]uint32{u, v}] {
+				ups = append(ups, serve.Update{Op: serve.OpInsert, U: u, V: v})
+			}
+		}
+	}
+	return ups
+}
+
+// oracleCores replays the first r updates through a plain in-memory
+// serving engine over a fresh copy of the same fixture and returns the
+// resulting core numbers — the ground truth recovery must reproduce.
+func oracleCores(t *testing.T, n uint32, seed int64, ups []serve.Update, r int) []uint32 {
+	t.Helper()
+	g, err := kcore.Open(writeGraph(t, n, seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	eng, err := serve.New(g, &serve.Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, up := range ups[:r] {
+		if err := eng.Enqueue(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return slices.Clone(eng.Snapshot().Cores())
+}
+
+// copyTree snapshots a directory tree — the moral equivalent of pulling
+// the plug and imaging the disk, for producing crash images of a live
+// data dir (files are stable between acked Syncs in these tests).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// durStats fetches the durability snapshot of a registered engine.
+func durStats(t *testing.T, eng engine.Engine) (s struct {
+	LSN         uint64
+	Replayed    int64
+	Checkpoints int64
+	Appends     int64
+	Degraded    bool
+}) {
+	t.Helper()
+	ds, ok := engine.AsDurabilityStatser(eng)
+	if !ok {
+		t.Fatal("durable engine does not expose DurabilityStats")
+	}
+	w := ds.DurabilityStats()
+	s.LSN, s.Replayed, s.Checkpoints, s.Appends, s.Degraded =
+		w.LSN, w.Replayed, w.Checkpoints, w.Appends, w.Degraded
+	return s
+}
+
+func TestRecoverEmptyDataDir(t *testing.T) {
+	dataDir := t.TempDir()
+	reg := engine.NewRegistry(durableOptions(dataDir))
+	defer reg.Close()
+	rep, err := reg.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 0 {
+		t.Fatalf("recovery in an empty dir found %d graphs", len(rep.Graphs))
+	}
+	if !strings.Contains(rep.Summary(), "recovered 0 graphs") {
+		t.Fatalf("summary = %q", rep.Summary())
+	}
+	// The dir is usable right away: opening takes an initial checkpoint
+	// and every acked write is logged.
+	const n, seed = 80, 31
+	eng, err := reg.Open("g", writeGraph(t, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := freshEdges(n, seed, 4)
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := durStats(t, eng)
+	if st.Checkpoints < 1 || st.Appends != 4 || st.LSN != 4 || st.Degraded {
+		t.Fatalf("stats after 4 applies = %+v", st)
+	}
+}
+
+func TestRecoverCheckpointNoTail(t *testing.T) {
+	const n, seed, k = 80, 32, 5
+	dataDir := t.TempDir()
+	ups := freshEdges(n, seed, k)
+
+	reg := engine.NewRegistry(durableOptions(dataDir))
+	eng, err := reg.Open("g", writeGraph(t, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := slices.Clone(eng.Snapshot().Cores())
+	if err := reg.Close(); err != nil { // clean shutdown: final checkpoint
+		t.Fatal(err)
+	}
+
+	reg2 := engine.NewRegistry(durableOptions(dataDir))
+	defer reg2.Close()
+	rep, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Err != nil {
+		t.Fatalf("recovery report = %+v", rep.Graphs)
+	}
+	if g := rep.Graphs[0]; g.Replayed != 0 || g.Degraded {
+		t.Fatalf("clean shutdown should recover from checkpoint alone: %+v", g)
+	}
+	eng2, ok := reg2.Get("g")
+	if !ok {
+		t.Fatal("recovered graph not registered")
+	}
+	if got := eng2.Snapshot().Cores(); !slices.Equal(got, want) {
+		t.Fatal("recovered cores differ from pre-shutdown cores")
+	}
+	if st := durStats(t, eng2); st.LSN != k {
+		t.Fatalf("recovered LSN = %d, want %d", st.LSN, k)
+	}
+	// The recovered graph accepts new writes.
+	more := freshEdges(n, seed, k+1)[k:]
+	if err := eng2.Apply(more...); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// crashImage opens a durable graph, applies k updates with acked Syncs,
+// and images the data dir while the process is still "running" — the
+// image holds the initial checkpoint plus a k-record WAL tail.
+func crashImage(t *testing.T, n uint32, seed int64, k int) (img string, ups []serve.Update) {
+	t.Helper()
+	dataDir := t.TempDir()
+	ups = freshEdges(n, seed, k)
+	reg := engine.NewRegistry(durableOptions(dataDir))
+	defer reg.Close()
+	eng, err := reg.Open("g", writeGraph(t, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img = t.TempDir()
+	copyTree(t, dataDir, img)
+	return img, ups
+}
+
+func TestRecoverReplaysWalTail(t *testing.T) {
+	const n, seed, k = 80, 33, 6
+	img, ups := crashImage(t, n, seed, k)
+
+	reg := engine.NewRegistry(durableOptions(img))
+	defer reg.Close()
+	rep, err := reg.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Err != nil || rep.Graphs[0].Degraded {
+		t.Fatalf("recovery report = %+v", rep.Graphs)
+	}
+	if rep.Graphs[0].Replayed != k {
+		t.Fatalf("replayed %d records, want %d", rep.Graphs[0].Replayed, k)
+	}
+	eng, _ := reg.Get("g")
+	if !slices.Equal(eng.Snapshot().Cores(), oracleCores(t, n, seed, ups, k)) {
+		t.Fatal("recovered cores differ from the oracle")
+	}
+}
+
+func TestRecoverTornLastRecord(t *testing.T) {
+	const n, seed, k = 80, 34, 6
+	img, ups := crashImage(t, n, seed, k)
+
+	// Chop bytes off the single log segment: the crash tore the last
+	// record mid-write. Recovery must drop exactly that record.
+	segs, err := filepath.Glob(filepath.Join(img, "g", "wal", "s0", "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v; want exactly 1", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := engine.NewRegistry(durableOptions(img))
+	defer reg.Close()
+	rep, err := reg.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Graphs[0]
+	if g.Err != nil || g.Degraded {
+		t.Fatalf("a torn tail is a normal crash, not damage: %+v", g)
+	}
+	if g.Replayed != k-1 {
+		t.Fatalf("replayed %d records, want %d (last one torn)", g.Replayed, k-1)
+	}
+	eng, _ := reg.Get("g")
+	if !slices.Equal(eng.Snapshot().Cores(), oracleCores(t, n, seed, ups, k-1)) {
+		t.Fatal("recovered cores differ from the oracle at the torn prefix")
+	}
+}
+
+func TestRecoverTailWithoutCheckpointFails(t *testing.T) {
+	const n, seed, k = 80, 35, 4
+	img, _ := crashImage(t, n, seed, k)
+	if err := os.RemoveAll(filepath.Join(img, "g", "ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	reg := engine.NewRegistry(durableOptions(img))
+	defer reg.Close()
+	rep, err := reg.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 {
+		t.Fatalf("recovery report = %+v", rep.Graphs)
+	}
+	if rep.Graphs[0].Err == nil {
+		t.Fatal("a WAL tail with no checkpoint recovered from nothing")
+	}
+	if _, ok := reg.Get("g"); ok {
+		t.Fatal("unrecoverable graph was registered")
+	}
+	if !strings.Contains(rep.Summary(), "unrecoverable") {
+		t.Fatalf("summary does not surface the failure: %q", rep.Summary())
+	}
+}
+
+func TestRecoverMidLogDamageComesUpDegraded(t *testing.T) {
+	const n, seed, k = 80, 36, 5
+	dataDir := t.TempDir()
+	ups := freshEdges(n, seed, k)
+
+	// A tiny segment threshold forces one record per segment, so damage
+	// in the first segment is provably mid-log, not a torn tail.
+	opts := durableOptions(dataDir)
+	opts.Durability.SegmentBytes = 32
+	reg := engine.NewRegistry(opts)
+	eng, err := reg.Open("g", writeGraph(t, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := t.TempDir()
+	copyTree(t, dataDir, img)
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(img, "g", "wal", "s0", "*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments = %v, %v; want several", segs, err)
+	}
+	slices.Sort(segs)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := engine.NewRegistry(durableOptions(img))
+	defer reg2.Close()
+	rep, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Graphs[0]
+	if g.Err != nil {
+		t.Fatalf("mid-log damage must degrade, not fail: %v", g.Err)
+	}
+	if !g.Degraded || g.Reason == "" {
+		t.Fatalf("graph not degraded (or no reason): %+v", g)
+	}
+	eng2, ok := reg2.Get("g")
+	if !ok {
+		t.Fatal("degraded graph not registered")
+	}
+	// Reads keep working: the checkpoint state serves.
+	if !slices.Equal(eng2.Snapshot().Cores(), oracleCores(t, n, seed, ups, 0)) {
+		t.Fatal("degraded graph does not serve its checkpoint state")
+	}
+	// Writes are refused.
+	if err := eng2.Apply(ups[0]); !errors.Is(err, engine.ErrDegraded) {
+		t.Fatalf("write on degraded graph = %v, want ErrDegraded", err)
+	}
+	if cp, ok := engine.AsCheckpointer(eng2); !ok {
+		t.Fatal("degraded engine lost its Checkpointer")
+	} else if err := cp.Checkpoint(); !errors.Is(err, engine.ErrDegraded) {
+		t.Fatalf("checkpoint on degraded graph = %v, want ErrDegraded", err)
+	}
+	// The flag is surfaced in listings.
+	infos := reg2.List()
+	if len(infos) != 1 || !infos[0].Degraded || infos[0].Durability == nil {
+		t.Fatalf("List does not surface degradation: %+v", infos)
+	}
+}
+
+func TestDataDirDoubleOpenRejected(t *testing.T) {
+	dataDir := t.TempDir()
+	reg1 := engine.NewRegistry(durableOptions(dataDir))
+	defer reg1.Close()
+	if _, err := reg1.Open("g", writeGraph(t, 80, 37)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := engine.NewRegistry(durableOptions(dataDir))
+	if _, err := reg2.Open("h", writeGraph(t, 80, 38)); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second registry Open = %v, want data-dir lock rejection", err)
+	}
+	if _, err := reg2.Recover(); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second registry Recover = %v, want data-dir lock rejection", err)
+	}
+	reg2.Close() //nolint:errcheck
+
+	// Releasing the first registry frees the lock.
+	if err := reg1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := engine.NewRegistry(durableOptions(dataDir))
+	defer reg3.Close()
+	if _, err := reg3.Recover(); err != nil {
+		t.Fatalf("Recover after lock release: %v", err)
+	}
+}
+
+func TestDurableShardedRoundTrip(t *testing.T) {
+	const n, seed, k = 120, 39, 6
+	dataDir := t.TempDir()
+	ups := freshEdges(n, seed, k)
+
+	reg := engine.NewRegistry(durableOptions(dataDir))
+	eng, err := reg.OpenSharded("g", writeGraph(t, n, seed), 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := engine.AsShardStatser(eng); !ok {
+		t.Fatal("durable wrapper hides ShardStats")
+	}
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := slices.Clone(eng.Snapshot().Cores())
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := engine.NewRegistry(durableOptions(dataDir))
+	defer reg2.Close()
+	rep, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Err != nil || rep.Graphs[0].Degraded {
+		t.Fatalf("recovery report = %+v", rep.Graphs)
+	}
+	if rep.Graphs[0].Shards != 3 {
+		t.Fatalf("recovered with %d shards, want the CONFIG topology 3", rep.Graphs[0].Shards)
+	}
+	eng2, _ := reg2.Get("g")
+	if _, ok := engine.AsShardStatser(eng2); !ok {
+		t.Fatal("recovered engine is not sharded")
+	}
+	if !slices.Equal(eng2.Snapshot().Cores(), want) {
+		t.Fatal("recovered sharded cores differ from pre-shutdown cores")
+	}
+}

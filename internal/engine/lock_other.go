@@ -1,0 +1,11 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// lockDataDir opens the LOCK file without OS-level locking on platforms
+// with no flock; double-open protection is advisory there.
+func lockDataDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package engine
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive, non-blocking flock on the data dir's
+// LOCK file, rejecting a second process (or registry) opening the same
+// directory. The lock dies with the file descriptor, so even a killed
+// process never leaves a stale lock behind.
+func lockDataDir(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: data dir already locked (is another kcored running?): %s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"kcore"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+	"kcore/internal/wal"
+)
+
+// configName is the per-graph serving-topology file inside a durable
+// graph directory: recovery rebuilds the same shard layout the graph
+// was created with.
+const configName = "CONFIG"
+
+func writeGraphConfig(o *DurabilityOptions, dir string, shards int, partitioner string) error {
+	f, err := o.FS.Create(filepath.Join(dir, configName))
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "shards=%d\npartitioner=%s\n", shards, partitioner); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readGraphConfig parses the topology file, defaulting to a
+// single-writer engine when it is missing or damaged (topology is
+// serving configuration, not durable state — the graph's data is intact
+// either way).
+func readGraphConfig(dir string) (shards int, partitioner string) {
+	shards = 1
+	data, err := os.ReadFile(filepath.Join(dir, configName))
+	if err != nil {
+		return shards, partitioner
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(strings.TrimSpace(line), "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "shards":
+			if n, err := strconv.Atoi(val); err == nil && n >= 1 && n <= 1024 {
+				shards = n
+			}
+		case "partitioner":
+			partitioner = val
+		}
+	}
+	return shards, partitioner
+}
+
+// ensureDataDir creates the data directory and takes the process-level
+// flock on first use.
+func (r *Registry) ensureDataDir() error {
+	r.lockMu.Lock()
+	defer r.lockMu.Unlock()
+	if r.lockFile != nil {
+		return nil
+	}
+	if err := os.MkdirAll(r.dur.Dir, 0o755); err != nil {
+		return err
+	}
+	f, err := lockDataDir(filepath.Join(r.dur.Dir, "LOCK"))
+	if err != nil {
+		return err
+	}
+	r.lockFile = f
+	return nil
+}
+
+func (r *Registry) releaseDataDir() {
+	r.lockMu.Lock()
+	defer r.lockMu.Unlock()
+	if r.lockFile != nil {
+		r.lockFile.Close()
+		r.lockFile = nil
+	}
+}
+
+// openDurable is the data-dir variant of Open/OpenSharded: the graph is
+// opened from base, wrapped in the durability layer under
+// <dataDir>/<name>/, and an initial checkpoint is committed before the
+// engine is published.
+func (r *Registry) openDurable(name, base string, shards int, partitioner string) (Engine, error) {
+	if err := r.ensureDataDir(); err != nil {
+		return nil, err
+	}
+	if err := r.reserve(name); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(r.dur.Dir, name)
+	d, err := r.buildDurable(name, dir, base, shards, partitioner)
+	if err != nil {
+		r.commit(name, nil)
+		return nil, fmt.Errorf("engine: open durable %q: %w", name, err)
+	}
+	e := &entry{name: name, base: base, eng: d, shards: entryShards(shards), dir: dir}
+	if !r.commit(name, e) {
+		e.shutdown() //nolint:errcheck // ErrClosed wins
+		return nil, ErrClosed
+	}
+	return d, nil
+}
+
+func entryShards(shards int) int {
+	if shards >= 2 {
+		return shards
+	}
+	return 0
+}
+
+func (r *Registry) buildDurable(name, dir, base string, shards int, partitioner string) (*durable, error) {
+	// A fresh Open owns the name: whatever an earlier failed creation
+	// (or an unrecoverable leftover the operator chose to replace) left
+	// under it is discarded.
+	if err := r.dur.FS.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := r.dur.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	g, err := kcore.Open(base, &r.opts.Open)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.assembleDurable(name, dir, g, shards, partitioner, false)
+	if err != nil {
+		return nil, err
+	}
+	err = writeGraphConfig(r.dur, dir, shards, partitioner)
+	if err == nil {
+		err = d.checkpoint()
+	}
+	if err != nil {
+		d.Close() //nolint:errcheck // creation error wins
+		return nil, err
+	}
+	d.startLoops()
+	return d, nil
+}
+
+// assembleDurable builds the durable shell around a serving engine for
+// g: mirror seeded from g, logs opened, hooks chained. When replaying
+// is set the shell starts in replay mode (records are not re-logged)
+// and background loops are not started; the recovery path finishes
+// that. On error the graph handle has been closed.
+func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, shards int, partitioner string, replaying bool) (*durable, error) {
+	sharded := shards >= 2
+	sessions := 1
+	if sharded {
+		sessions = shards + 1
+	}
+	d := newDurable(name, sessions, *r.dur)
+	if replaying {
+		d.replaying.Store(true)
+	}
+	if err := d.seedMirror(g); err != nil {
+		g.Close() //nolint:errcheck // seed error wins
+		return nil, err
+	}
+	gd, err := wal.Open(dir, sessions, &wal.Options{
+		FS:           r.dur.FS,
+		Policy:       r.dur.Policy,
+		SegmentBytes: r.dur.SegmentBytes,
+		Counters:     d.ctr,
+		IO:           stats.NewIOCounter(r.opts.Open.BlockSize),
+	})
+	if err != nil {
+		g.Close() //nolint:errcheck // wal error wins
+		return nil, err
+	}
+	d.gd = gd
+	if sharded {
+		eng, err := shard.New(g, &shard.Options{
+			Shards:         shards,
+			Partitioner:    partitioner,
+			Serve:          r.opts.Serve,
+			Open:           r.opts.Open,
+			Counters:       new(stats.ServeCounters),
+			OnApplySession: d.onApply,
+		})
+		if cerr := g.Close(); cerr != nil && err == nil {
+			eng.Close() //nolint:errcheck // base close error wins
+			err = cerr
+		}
+		if err != nil {
+			gd.Close() //nolint:errcheck // engine error wins
+			return nil, err
+		}
+		d.inner = eng
+	} else {
+		so := r.opts.Serve
+		so.Counters = new(stats.ServeCounters)
+		prev := so.OnApply
+		so.OnApply = func(deletes, inserts []kcore.Edge) {
+			if prev != nil {
+				prev(deletes, inserts)
+			}
+			d.onApply(0, deletes, inserts)
+		}
+		eng, err := serve.New(g, &so)
+		if err != nil {
+			gd.Close()  //nolint:errcheck // engine error wins
+			g.Close()   //nolint:errcheck
+			return nil, err
+		}
+		d.inner = eng
+		d.g = g // the durable shell owns the live graph handle
+	}
+	return d, nil
+}
+
+// GraphRecovery reports what recovery did for one graph directory.
+type GraphRecovery struct {
+	Name     string        `json:"name"`
+	Shards   int           `json:"shards,omitempty"`
+	Replayed int64         `json:"replayed_records"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Fallback bool          `json:"checkpoint_fallback,omitempty"`
+	Reason   string        `json:"reason,omitempty"`
+	Err      error         `json:"-"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// RecoveryReport aggregates a Recover pass.
+type RecoveryReport struct {
+	Graphs  []GraphRecovery `json:"graphs"`
+	Elapsed time.Duration   `json:"elapsed_ns"`
+}
+
+// Replayed sums replayed records across graphs.
+func (rep *RecoveryReport) Replayed() int64 {
+	var t int64
+	for _, g := range rep.Graphs {
+		t += g.Replayed
+	}
+	return t
+}
+
+// Summary renders the one-line startup log.
+func (rep *RecoveryReport) Summary() string {
+	degraded, failed := 0, 0
+	for _, g := range rep.Graphs {
+		if g.Degraded {
+			degraded++
+		}
+		if g.Err != nil {
+			failed++
+		}
+	}
+	s := fmt.Sprintf("recovered %d graphs, %d replayed records in %v",
+		len(rep.Graphs)-failed, rep.Replayed(), rep.Elapsed.Round(time.Millisecond))
+	if degraded > 0 {
+		s += fmt.Sprintf(" (%d degraded read-only)", degraded)
+	}
+	if failed > 0 {
+		s += fmt.Sprintf(" (%d unrecoverable)", failed)
+	}
+	return s
+}
+
+// Recover discovers graph directories under the data dir and brings
+// each back: newest valid checkpoint (falling back on CRC failure),
+// WAL tail replayed through the normal update path, fresh checkpoint,
+// then serving. A graph damaged past repair comes up degraded
+// read-only; a graph with nothing reconstructable is reported with Err
+// and not registered. Recover never panics on bad input — corrupt state
+// is classified, reported, and isolated per graph.
+func (r *Registry) Recover() (*RecoveryReport, error) {
+	if r.dur == nil {
+		return nil, fmt.Errorf("engine: Recover needs a registry with DurabilityOptions")
+	}
+	if err := r.ensureDataDir(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	ents, err := os.ReadDir(r.dur.Dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RecoveryReport{}
+	for _, e := range ents {
+		if !e.IsDir() || !validName(e.Name()) {
+			continue
+		}
+		rep.Graphs = append(rep.Graphs, r.recoverGraph(e.Name()))
+	}
+	rep.Elapsed = time.Since(t0)
+	return rep, nil
+}
+
+// recoverGraph brings one graph directory back into the registry.
+func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
+	t0 := time.Now()
+	gr.Name = name
+	defer func() { gr.Elapsed = time.Since(t0) }()
+	if err := r.reserve(name); err != nil {
+		gr.Err = err
+		return gr
+	}
+	dir := filepath.Join(r.dur.Dir, name)
+	fail := func(err error) GraphRecovery {
+		r.commit(name, nil)
+		gr.Err = err
+		return gr
+	}
+	sc, err := wal.Scan(r.dur.FS, dir)
+	if err != nil {
+		return fail(err)
+	}
+	shards, partitioner := readGraphConfig(dir)
+	gr.Shards = entryShards(shards)
+	liveBase, err := wal.CopyLive(dir, sc.Path)
+	if err != nil {
+		return fail(err)
+	}
+	g, err := kcore.Open(liveBase, &r.opts.Open)
+	if err != nil {
+		return fail(err)
+	}
+	d, err := r.assembleDurable(name, dir, g, shards, partitioner, true)
+	if err != nil {
+		return fail(err)
+	}
+	gr.Fallback = sc.Fallback
+	gr.Reason = sc.Reason
+	degradedReason := ""
+	if sc.Damaged {
+		degradedReason = sc.Reason
+	}
+	if degradedReason == "" && sc.Cores != nil {
+		// The quiescent checkpoint stored its core numbers; the recovered
+		// adjacency must decompose to exactly them (core numbers are
+		// unique per graph), or something is silently inconsistent.
+		if !slices.Equal(d.inner.Snapshot().Cores(), sc.Cores) {
+			degradedReason = "checkpoint core numbers disagree with recovered adjacency"
+		}
+	}
+	if degradedReason == "" {
+		if err := d.replay(sc.Records); err != nil {
+			degradedReason = "replay: " + err.Error()
+		} else {
+			gr.Replayed = d.ctr.Replayed()
+		}
+	}
+	d.mu.Lock()
+	d.lsn = sc.MaxLSN()
+	d.mu.Unlock()
+	d.replaying.Store(false)
+	if degradedReason == "" {
+		// Re-arm durability: a fresh checkpoint covering the replay,
+		// then fresh logs (old segments, torn tails included, are dead
+		// weight once the checkpoint commits).
+		if err := d.checkpoint(); err != nil {
+			degradedReason = "post-recovery checkpoint: " + err.Error()
+		} else if err := d.gd.ResetLogs(); err != nil {
+			degradedReason = "resetting logs: " + err.Error()
+		} else {
+			d.startLoops()
+		}
+	}
+	if degradedReason != "" {
+		d.markDegraded(degradedReason)
+		gr.Degraded = true
+		if gr.Reason == "" {
+			gr.Reason = degradedReason
+		} else if !strings.Contains(gr.Reason, degradedReason) {
+			gr.Reason += "; " + degradedReason
+		}
+	}
+	d.ctr.SetRecoveryNs(time.Since(t0).Nanoseconds())
+	e := &entry{name: name, base: liveBase, eng: d, shards: entryShards(shards), dir: dir}
+	if !r.commit(name, e) {
+		d.Close() //nolint:errcheck // ErrClosed wins
+		gr.Err = ErrClosed
+	}
+	return gr
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -24,6 +25,11 @@ type Options struct {
 	Serve serve.Options
 	// Open tunes every graph the registry opens from disk.
 	Open kcore.OpenOptions
+	// Durability, when set, puts the registry in data-dir mode: every
+	// opened graph is wrapped in the WAL + checkpoint layer under
+	// Durability.Dir/<name>/, Recover rebuilds graphs from that state on
+	// startup, and the data dir is flock-protected against double-open.
+	Durability *DurabilityOptions
 }
 
 // entry is one registered graph: the engine, the backing graph handle
@@ -35,7 +41,8 @@ type entry struct {
 	eng       Engine
 	g         *kcore.Graph
 	ownsGraph bool
-	shards    int // 0 for a single-writer engine
+	shards    int    // 0 for a single-writer engine
+	dir       string // durable graph directory, removed on Drop; "" otherwise
 }
 
 // Registry owns a set of named engines sharing option defaults, so one
@@ -45,10 +52,14 @@ type entry struct {
 // backing graph is released.
 type Registry struct {
 	opts Options
+	dur  *DurabilityOptions // resolved copy of opts.Durability, nil when off
 
 	mu     sync.RWMutex
 	byName map[string]*entry
 	closed bool
+
+	lockMu   sync.Mutex
+	lockFile *os.File // data-dir flock, held for the registry's lifetime
 }
 
 // NewRegistry creates an empty registry with the given defaults (nil
@@ -58,7 +69,12 @@ func NewRegistry(opts *Options) *Registry {
 	if opts != nil {
 		o = *opts
 	}
-	return &Registry{opts: o, byName: make(map[string]*entry)}
+	r := &Registry{opts: o, byName: make(map[string]*entry)}
+	if o.Durability != nil {
+		d := o.Durability.withDefaults()
+		r.dur = &d
+	}
+	return r
 }
 
 // validName reports whether name is acceptable: URL-path and filename
@@ -120,6 +136,9 @@ func (r *Registry) commit(name string, e *entry) bool {
 // registers a serving engine for it under name. The registry owns the
 // graph handle and closes it when the entry is dropped.
 func (r *Registry) Open(name, base string) (Engine, error) {
+	if r.dur != nil {
+		return r.openDurable(name, base, 1, "")
+	}
 	if err := r.reserve(name); err != nil {
 		return nil, err
 	}
@@ -154,6 +173,9 @@ func (r *Registry) Open(name, base string) (Engine, error) {
 func (r *Registry) OpenSharded(name, base string, shards int, partitioner string) (Engine, error) {
 	if shards < 2 {
 		return r.Open(name, base)
+	}
+	if r.dur != nil {
+		return r.openDurable(name, base, shards, partitioner)
 	}
 	if err := r.reserve(name); err != nil {
 		return nil, err
@@ -243,14 +265,18 @@ func (r *Registry) Names() []string {
 
 // GraphInfo summarises one registered graph for listings.
 type GraphInfo struct {
-	Name   string              `json:"name"`
-	Path   string              `json:"path,omitempty"`
-	Shards int                 `json:"shards,omitempty"`
-	Nodes  uint32              `json:"nodes"`
-	Edges  int64               `json:"edges"`
-	Kmax   uint32              `json:"kmax"`
-	Epoch  uint64              `json:"epoch"`
-	Serve  stats.ServeSnapshot `json:"serve"`
+	Name     string              `json:"name"`
+	Path     string              `json:"path,omitempty"`
+	Shards   int                 `json:"shards,omitempty"`
+	Nodes    uint32              `json:"nodes"`
+	Edges    int64               `json:"edges"`
+	Kmax     uint32              `json:"kmax"`
+	Epoch    uint64              `json:"epoch"`
+	Degraded bool                `json:"degraded,omitempty"`
+	Serve    stats.ServeSnapshot `json:"serve"`
+	// Durability carries the WAL/checkpoint counters for graphs in
+	// data-dir mode; nil otherwise.
+	Durability *stats.WalSnapshot `json:"durability,omitempty"`
 }
 
 // List snapshots every registered graph, sorted by name. Each entry's
@@ -278,6 +304,11 @@ func (r *Registry) List() []GraphInfo {
 			Epoch:  snap.Seq,
 			Serve:  e.eng.Stats(),
 		}
+		if ds, ok := AsDurabilityStatser(e.eng); ok {
+			w := ds.DurabilityStats()
+			infos[i].Durability = &w
+			infos[i].Degraded = w.Degraded
+		}
 	}
 	return infos
 }
@@ -294,12 +325,17 @@ func (r *Registry) Drop(name string) error {
 	}
 	delete(r.byName, name)
 	r.mu.Unlock()
-	return e.shutdown()
+	err := e.shutdown()
+	if rerr := e.remove(); err == nil {
+		err = rerr
+	}
+	return err
 }
 
 // shutdown drains the engine then releases the graph, keeping the first
 // error. Sharded entries hold no graph handle (the engine owns its
-// derived per-shard graphs and releases them itself).
+// derived per-shard graphs and releases them itself); durable entries
+// likewise — the durable shell owns its live graph handle.
 func (e *entry) shutdown() error {
 	err := e.eng.Close()
 	if e.ownsGraph && e.g != nil {
@@ -308,6 +344,14 @@ func (e *entry) shutdown() error {
 		}
 	}
 	return err
+}
+
+// remove deletes a durable entry's graph directory after shutdown.
+func (e *entry) remove() error {
+	if e.dir == "" {
+		return nil
+	}
+	return os.RemoveAll(e.dir)
 }
 
 // Close shuts every engine down concurrently (each drains its pending
@@ -340,6 +384,7 @@ func (r *Registry) Close() error {
 		}(i, e)
 	}
 	wg.Wait()
+	r.releaseDataDir()
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,89 @@
+// Package faultfs abstracts the file operations the durability layer
+// (internal/wal) performs — create, write, sync, rename, remove — behind
+// a small FS interface with two implementations: OS, which passes
+// through to the real filesystem, and Injector, a crash-point fault
+// harness that can fail or "kill the process" at any single operation
+// boundary and then simulate what a real crash leaves behind (unsynced
+// bytes lost, un-fsynced renames reverted). Durability code is written
+// against FS so the same code paths that run in production are the ones
+// the crash suite drives through every failure point.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the handle surface the WAL and checkpoint writers need. It is
+// satisfied by *os.File.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Name reports the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the durability layer writes through.
+// Read-only helpers (ReadDir, ReadFile, Stat) are included so a fault
+// harness can also cut off reads once it has simulated a crash.
+type FS interface {
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Rename atomically renames oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// RemoveAll deletes path and everything below it.
+	RemoveAll(path string) error
+	// MkdirAll creates path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// Stat describes the named file.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// inside it durable.
+	SyncDir(name string) error
+}
+
+// OS is the passthrough implementation used in production.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -15,6 +15,7 @@
 //	GET    /g/{name}/stats              serving + I/O counters (+ per-shard block when sharded)
 //	POST   /g/{name}/update[?wait=1]    {"updates":[{"op":"insert","u":1,"v":2},..]}
 //	POST   /g/{name}/rebalance          locality-aware repartition (sharded graphs only)
+//	POST   /g/{name}/checkpoint         force a durability checkpoint (data-dir mode only)
 //
 // The single-graph routes from before the registry existed (/core,
 // /kcore, /degeneracy, /stats, /update) are kept as aliases for a
@@ -63,6 +64,7 @@ func New(reg *engine.Registry, defaultGraph string) *Server {
 	s.mux.HandleFunc("GET /g/{name}/stats", s.graph(handleStats))
 	s.mux.HandleFunc("POST /g/{name}/update", s.graph(handleUpdate))
 	s.mux.HandleFunc("POST /g/{name}/rebalance", s.graph(handleRebalance))
+	s.mux.HandleFunc("POST /g/{name}/checkpoint", s.graph(handleCheckpoint))
 	s.mux.HandleFunc("GET /core", s.graph(handleCore))
 	s.mux.HandleFunc("GET /kcore", s.graph(handleKCore))
 	s.mux.HandleFunc("GET /degeneracy", s.graph(handleDegeneracy))
@@ -283,12 +285,43 @@ func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	// Sharded engines additionally expose routing/compose counters, the
 	// cross-shard edge ratio, and one counter block per shard writer.
-	if ss, ok := eng.(engine.ShardStatser); ok {
+	if ss, ok := engine.AsShardStatser(eng); ok {
 		shardStats := ss.ShardStats()
 		resp["shards"] = shardStats
 		resp["cross_shard_edge_ratio"] = shardStats.Routing.CrossShardEdgeRatio()
 	}
+	// Durable graphs expose WAL/checkpoint/recovery counters and the
+	// degraded read-only flag.
+	if ds, ok := engine.AsDurabilityStatser(eng); ok {
+		w := ds.DurabilityStats()
+		resp["durability"] = w
+		resp["degraded"] = w.Degraded
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint forces a checkpoint of a durable graph; 400 for
+// graphs opened without a data dir, 503 when the graph is degraded or
+// the checkpoint fails.
+func handleCheckpoint(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	cp, ok := engine.AsCheckpointer(eng)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "graph is not durable: no checkpoint to take")
+		return
+	}
+	if err := cp.Checkpoint(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	var snap any
+	if ds, ok := engine.AsDurabilityStatser(eng); ok {
+		snap = ds.DurabilityStats()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed": true,
+		"durability":   snap,
+		"epoch":        eng.Snapshot().Seq,
+	})
 }
 
 // handleRebalance runs the locality-aware repartitioning of a sharded
@@ -298,7 +331,7 @@ func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 // with the migration report (moved nodes, migrated edges, cut ratio
 // before/after); 400 for engines that are not sharded.
 func handleRebalance(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
-	rb, ok := eng.(engine.Rebalancer)
+	rb, ok := engine.AsRebalancer(eng)
 	if !ok {
 		httpError(w, http.StatusBadRequest, "graph is not sharded: nothing to rebalance")
 		return

@@ -139,6 +139,13 @@ type Options struct {
 	// a private set. Per-shard counters are always private and exposed
 	// through ShardStats.
 	Counters *stats.ServeCounters
+	// OnApplySession, when set, observes every externally-submitted
+	// applied batch: it runs on session writer goroutines, chained after
+	// the composer's own delta accounting, with the session index and
+	// the exact net deletes/inserts the flush applied. Internal
+	// (migration) flushes are not reported — they net to zero on the
+	// union graph. The durability layer hooks its WAL appends here.
+	OnApplySession func(session int, deletes, inserts []kcore.Edge)
 }
 
 func (o Options) withDefaults() Options {
@@ -367,6 +374,9 @@ func (s *Sharded) build(base *kcore.Graph, o Options) error {
 			// epoch's exact dirty set in one sealed record.
 			so.OnApply = func(deletes, inserts []kcore.Edge) {
 				f.noteApply(deletes, inserts, false)
+				if o.OnApplySession != nil {
+					o.OnApplySession(i, deletes, inserts)
+				}
 			}
 			so.OnApplyInternal = func(deletes, inserts []kcore.Edge) {
 				f.noteApply(deletes, inserts, true)

@@ -1,0 +1,78 @@
+package stats
+
+import "sync/atomic"
+
+// WalCounters instruments one graph's durability layer: WAL appends and
+// fsyncs on the write path, checkpoints, and what recovery did on open.
+// All fields are atomics so the writer goroutines, the checkpoint loop,
+// and stats readers never contend.
+type WalCounters struct {
+	appends     atomic.Int64
+	bytes       atomic.Int64
+	fsyncs      atomic.Int64
+	checkpoints atomic.Int64
+	replayed    atomic.Int64
+	recoveryNs  atomic.Int64
+	lsn         atomic.Uint64
+	degraded    atomic.Bool
+}
+
+// NoteAppend records one WAL record append of n encoded bytes.
+func (c *WalCounters) NoteAppend(n int64) {
+	c.appends.Add(1)
+	c.bytes.Add(n)
+}
+
+// NoteFsync records one fsync of a log segment.
+func (c *WalCounters) NoteFsync() { c.fsyncs.Add(1) }
+
+// NoteCheckpoint records one completed checkpoint.
+func (c *WalCounters) NoteCheckpoint() { c.checkpoints.Add(1) }
+
+// AddReplayed records n WAL records replayed during recovery.
+func (c *WalCounters) AddReplayed(n int64) { c.replayed.Add(n) }
+
+// Replayed reports the records replayed during recovery.
+func (c *WalCounters) Replayed() int64 { return c.replayed.Load() }
+
+// SetRecoveryNs records the wall time recovery took.
+func (c *WalCounters) SetRecoveryNs(ns int64) { c.recoveryNs.Store(ns) }
+
+// SetLSN publishes the newest durable log sequence number.
+func (c *WalCounters) SetLSN(lsn uint64) { c.lsn.Store(lsn) }
+
+// Appends reports the number of WAL records appended.
+func (c *WalCounters) Appends() int64 { return c.appends.Load() }
+
+// SetDegraded flips the degraded read-only flag.
+func (c *WalCounters) SetDegraded(v bool) { c.degraded.Store(v) }
+
+// Degraded reports whether the graph is serving degraded (read-only).
+func (c *WalCounters) Degraded() bool { return c.degraded.Load() }
+
+// Snapshot captures the current values.
+func (c *WalCounters) Snapshot() WalSnapshot {
+	return WalSnapshot{
+		Appends:     c.appends.Load(),
+		Bytes:       c.bytes.Load(),
+		Fsyncs:      c.fsyncs.Load(),
+		Checkpoints: c.checkpoints.Load(),
+		Replayed:    c.replayed.Load(),
+		RecoveryNs:  c.recoveryNs.Load(),
+		LSN:         c.lsn.Load(),
+		Degraded:    c.degraded.Load(),
+	}
+}
+
+// WalSnapshot is an immutable copy of WalCounters, shaped for the
+// per-graph stats JSON.
+type WalSnapshot struct {
+	Appends     int64  `json:"wal_appends"`
+	Bytes       int64  `json:"wal_bytes"`
+	Fsyncs      int64  `json:"wal_fsyncs"`
+	Checkpoints int64  `json:"checkpoints"`
+	Replayed    int64  `json:"replayed_records"`
+	RecoveryNs  int64  `json:"recovery_ns"`
+	LSN         uint64 `json:"lsn"`
+	Degraded    bool   `json:"degraded"`
+}

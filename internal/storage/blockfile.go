@@ -2,11 +2,16 @@ package storage
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/stats"
 )
+
+// castagnoli is the CRC32C polynomial table used for table checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // BlockFile reads a disk file through a single in-memory block buffer of
 // size B, charging one read I/O to the attached counter each time a block
@@ -106,18 +111,30 @@ func (bf *BlockFile) ReadAt(p []byte, off int64) error {
 
 // BlockWriter appends to a file through a B-sized buffer, charging one
 // write I/O per flushed block. Close flushes the final partial block.
+// The writer keeps a running CRC32C of the logical byte stream so
+// callers can store a checksum alongside the file and detect torn or
+// bit-flipped tables at open (see Verify).
 type BlockWriter struct {
-	f      *os.File
+	f      faultfs.File
 	b      int
 	io     *stats.IOCounter
 	buf    []byte
 	fill   int
 	offset int64
+	crc    uint32
 }
 
-// CreateBlockWriter creates (truncates) path for counted writing.
+// CreateBlockWriter creates (truncates) path for counted writing on the
+// real filesystem.
 func CreateBlockWriter(path string, ctr *stats.IOCounter) (*BlockWriter, error) {
-	f, err := os.Create(path)
+	return CreateBlockWriterFS(faultfs.OS, path, ctr)
+}
+
+// CreateBlockWriterFS creates (truncates) path for counted writing
+// through the given filesystem, so durability code can route table
+// writes through a fault injector.
+func CreateBlockWriterFS(fsys faultfs.FS, path string, ctr *stats.IOCounter) (*BlockWriter, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -132,10 +149,14 @@ func CreateBlockWriter(path string, ctr *stats.IOCounter) (*BlockWriter, error) 
 // Offset reports the number of bytes written so far (buffered included).
 func (bw *BlockWriter) Offset() int64 { return bw.offset }
 
+// CRC reports the CRC32C of every byte written so far.
+func (bw *BlockWriter) CRC() uint32 { return bw.crc }
+
 // Write appends p, flushing full blocks as they fill.
 func (bw *BlockWriter) Write(p []byte) (int, error) {
 	total := len(p)
 	bw.io.AddWriteBytes(int64(total))
+	bw.crc = crc32.Update(bw.crc, castagnoli, p)
 	for len(p) > 0 {
 		n := copy(bw.buf[bw.fill:], p)
 		bw.fill += n
@@ -154,12 +175,25 @@ func (bw *BlockWriter) flush() error {
 	if bw.fill == 0 {
 		return nil
 	}
-	if _, err := bw.f.Write(bw.buf[:bw.fill]); err != nil {
+	n, err := bw.f.Write(bw.buf[:bw.fill])
+	if err != nil {
 		return err
+	}
+	if n != bw.fill {
+		return fmt.Errorf("storage: short block write: wrote %d of %d bytes to %s", n, bw.fill, bw.f.Name())
 	}
 	bw.io.AddWriteBlocks(1)
 	bw.fill = 0
 	return nil
+}
+
+// Sync flushes buffered bytes and fsyncs the file, making everything
+// written so far durable.
+func (bw *BlockWriter) Sync() error {
+	if err := bw.flush(); err != nil {
+		return err
+	}
+	return bw.f.Sync()
 }
 
 // Close flushes buffered bytes and closes the file.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/stats"
 )
 
@@ -13,6 +14,7 @@ import (
 // itself an I/O-accounted operation (used by EMCore re-partitioning and by
 // dynamic-graph compaction).
 type Builder struct {
+	fs     faultfs.FS
 	base   string
 	n      uint32
 	next   uint32
@@ -24,18 +26,26 @@ type Builder struct {
 	closed bool
 }
 
-// NewBuilder starts writing a graph with n nodes at path prefix base.
+// NewBuilder starts writing a graph with n nodes at path prefix base on
+// the real filesystem.
 func NewBuilder(base string, n uint32, ctr *stats.IOCounter) (*Builder, error) {
-	nt, err := CreateBlockWriter(nodePath(base), ctr)
+	return NewBuilderFS(faultfs.OS, base, n, ctr)
+}
+
+// NewBuilderFS starts writing a graph through the given filesystem, so
+// checkpoint writers can route every table byte through a fault
+// injector.
+func NewBuilderFS(fsys faultfs.FS, base string, n uint32, ctr *stats.IOCounter) (*Builder, error) {
+	nt, err := CreateBlockWriterFS(fsys, nodePath(base), ctr)
 	if err != nil {
 		return nil, err
 	}
-	et, err := CreateBlockWriter(edgePath(base), ctr)
+	et, err := CreateBlockWriterFS(fsys, edgePath(base), ctr)
 	if err != nil {
 		nt.Close()
 		return nil, err
 	}
-	return &Builder{base: base, n: n, nt: nt, et: et}, nil
+	return &Builder{fs: fsys, base: base, n: n, nt: nt, et: et}, nil
 }
 
 // AppendList writes nbr(v) for the next node. Lists must arrive for
@@ -88,8 +98,16 @@ func (b *Builder) AppendList(v uint32, nbrs []uint32) error {
 func (b *Builder) Arcs() int64 { return b.arcs }
 
 // Close pads any unwritten nodes with empty lists, flushes both tables and
-// writes the meta file.
-func (b *Builder) Close() error {
+// writes the meta file (including table checksums).
+func (b *Builder) Close() error { return b.finish(false) }
+
+// CloseSync is Close with durability: both tables are fsynced before
+// the meta file is written, and the meta file is fsynced too. Callers
+// that commit the graph by renaming its directory (checkpoints) need
+// this ordering so a valid header never points at volatile tables.
+func (b *Builder) CloseSync() error { return b.finish(true) }
+
+func (b *Builder) finish(durable bool) error {
 	if b.closed {
 		return nil
 	}
@@ -99,6 +117,19 @@ func (b *Builder) Close() error {
 		}
 	}
 	b.closed = true
+	if durable {
+		if err := b.nt.Sync(); err != nil {
+			b.nt.Close()
+			b.et.Close()
+			return err
+		}
+		if err := b.et.Sync(); err != nil {
+			b.nt.Close()
+			b.et.Close()
+			return err
+		}
+	}
+	ntCRC, etCRC := b.nt.CRC(), b.et.CRC()
 	if err := b.nt.Close(); err != nil {
 		b.et.Close()
 		return err
@@ -106,7 +137,8 @@ func (b *Builder) Close() error {
 	if err := b.et.Close(); err != nil {
 		return err
 	}
-	return WriteMeta(b.base, Meta{Version: FormatVersion, N: b.n, Arcs: b.arcs})
+	m := Meta{Version: FormatVersion, N: b.n, Arcs: b.arcs, HasCRC: true, NtCRC: ntCRC, EtCRC: etCRC}
+	return WriteMetaFS(b.fs, b.base, m, durable)
 }
 
 // Abort closes the partial files without writing a meta header, leaving

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 	"kcore/internal/stats"
 )
@@ -36,11 +37,16 @@ const (
 	ArcSize = 4
 )
 
-// Meta is the parsed contents of a <base>.meta file.
+// Meta is the parsed contents of a <base>.meta file. HasCRC reports
+// whether the header carried table checksums (graphs written by older
+// builders have none; everything the Builder writes today does).
 type Meta struct {
 	Version int
 	N       uint32
 	Arcs    int64
+	HasCRC  bool
+	NtCRC   uint32
+	EtCRC   uint32
 }
 
 // metaPath, nodePath and edgePath derive the three file names of a graph.
@@ -48,9 +54,16 @@ func metaPath(base string) string { return base + ".meta" }
 func nodePath(base string) string { return base + ".nt" }
 func edgePath(base string) string { return base + ".et" }
 
-// WriteMeta writes the header file for a graph.
+// WriteMeta writes the header file for a graph on the real filesystem.
 func WriteMeta(base string, m Meta) error {
-	f, err := os.Create(metaPath(base))
+	return WriteMetaFS(faultfs.OS, base, m, false)
+}
+
+// WriteMetaFS writes the header file through the given filesystem,
+// optionally fsyncing it before close (checkpoint writers need the
+// header durable before the checkpoint directory is committed).
+func WriteMetaFS(fsys faultfs.FS, base string, m Meta, durable bool) error {
+	f, err := fsys.Create(metaPath(base))
 	if err != nil {
 		return err
 	}
@@ -58,9 +71,19 @@ func WriteMeta(base string, m Meta) error {
 	fmt.Fprintf(w, "version=%d\n", m.Version)
 	fmt.Fprintf(w, "nodes=%d\n", m.N)
 	fmt.Fprintf(w, "arcs=%d\n", m.Arcs)
+	if m.HasCRC {
+		fmt.Fprintf(w, "ntcrc=%d\n", m.NtCRC)
+		fmt.Fprintf(w, "etcrc=%d\n", m.EtCRC)
+	}
 	if err := w.Flush(); err != nil {
 		f.Close()
 		return err
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	return f.Close()
 }
@@ -92,6 +115,12 @@ func ReadMeta(base string) (Meta, error) {
 			m.N = uint32(x)
 		case "arcs":
 			m.Arcs = x
+		case "ntcrc":
+			m.NtCRC = uint32(x)
+			m.HasCRC = true
+		case "etcrc":
+			m.EtCRC = uint32(x)
+			m.HasCRC = true
 		default:
 			return m, fmt.Errorf("storage: unknown meta key %q", key)
 		}

@@ -1,0 +1,275 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kcore/internal/faultfs"
+	"kcore/internal/stats"
+	"kcore/internal/storage"
+)
+
+const (
+	manifestName    = "MANIFEST"
+	coresName       = "cores"
+	ckptGraphBase   = "graph"
+	manifestVersion = 1
+)
+
+// manifest is the committed description of one checkpoint: which LSN
+// the adjacency tables capture, their shape, and whether a core-number
+// file rides along (only written when the checkpoint was quiescent).
+type manifest struct {
+	Version  int
+	Seq      uint64
+	LSN      uint64
+	Nodes    uint32
+	Arcs     int64
+	HasCores bool
+}
+
+// encodeManifest renders the text manifest with a trailing CRC line
+// covering everything above it.
+func encodeManifest(m manifest) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%d\n", m.Version)
+	fmt.Fprintf(&b, "seq=%d\n", m.Seq)
+	fmt.Fprintf(&b, "lsn=%d\n", m.LSN)
+	fmt.Fprintf(&b, "nodes=%d\n", m.Nodes)
+	fmt.Fprintf(&b, "arcs=%d\n", m.Arcs)
+	cores := 0
+	if m.HasCores {
+		cores = 1
+	}
+	fmt.Fprintf(&b, "cores=%d\n", cores)
+	body := b.String()
+	crc := crc32.Checksum([]byte(body), castagnoli)
+	return []byte(fmt.Sprintf("%scrc=%d\n", body, crc))
+}
+
+// parseManifest validates the CRC line and parses the fields.
+func parseManifest(data []byte) (manifest, error) {
+	var m manifest
+	text := string(data)
+	i := strings.LastIndex(strings.TrimRight(text, "\n"), "\n")
+	if i < 0 {
+		return m, fmt.Errorf("wal: manifest too short")
+	}
+	body, crcLine := text[:i+1], strings.TrimSpace(text[i+1:])
+	val, ok := strings.CutPrefix(crcLine, "crc=")
+	if !ok {
+		return m, fmt.Errorf("wal: manifest missing crc line")
+	}
+	want, err := strconv.ParseUint(val, 10, 32)
+	if err != nil {
+		return m, fmt.Errorf("wal: manifest crc line: %w", err)
+	}
+	if got := crc32.Checksum([]byte(body), castagnoli); got != uint32(want) {
+		return m, fmt.Errorf("wal: manifest crc %d, want %d", got, want)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return m, fmt.Errorf("wal: malformed manifest line %q", line)
+		}
+		x, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return m, fmt.Errorf("wal: manifest value %q: %w", line, err)
+		}
+		switch key {
+		case "version":
+			m.Version = int(x)
+		case "seq":
+			m.Seq = x
+		case "lsn":
+			m.LSN = x
+		case "nodes":
+			m.Nodes = uint32(x)
+		case "arcs":
+			m.Arcs = int64(x)
+		case "cores":
+			m.HasCores = x != 0
+		default:
+			return m, fmt.Errorf("wal: unknown manifest key %q", key)
+		}
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("wal: unsupported manifest version %d", m.Version)
+	}
+	return m, nil
+}
+
+// ckptDirName names a committed checkpoint directory by sequence.
+func ckptDirName(seq uint64) string { return fmt.Sprintf("%016x", seq) }
+
+// writeCheckpoint persists the mirror (and, when quiescent, the core
+// numbers) as checkpoint seq under root/ckpt. The tables are written
+// into a hidden tmp directory, fsynced file by file, then committed
+// with a single rename followed by a directory fsync — a crash anywhere
+// in between leaves either the previous checkpoints or a complete new
+// one, never a half-visible directory.
+func writeCheckpoint(fs faultfs.FS, root string, seq, lsn uint64, m *Mirror, cores []uint32, ioCtr *stats.IOCounter) error {
+	ckptRoot := filepath.Join(root, "ckpt")
+	if err := fs.MkdirAll(ckptRoot, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(ckptRoot, ".tmp-"+ckptDirName(seq))
+	if err := fs.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	b, err := storage.NewBuilderFS(fs, filepath.Join(tmp, ckptGraphBase), m.NumNodes(), ioCtr)
+	if err != nil {
+		return err
+	}
+	for v := uint32(0); v < m.NumNodes(); v++ {
+		if err := b.AppendList(v, m.Neighbors(v)); err != nil {
+			b.Abort()
+			return err
+		}
+	}
+	if err := b.CloseSync(); err != nil {
+		return err
+	}
+	if cores != nil {
+		if err := writeCores(fs, filepath.Join(tmp, coresName), cores); err != nil {
+			return err
+		}
+	}
+	man := encodeManifest(manifest{
+		Version:  manifestVersion,
+		Seq:      seq,
+		LSN:      lsn,
+		Nodes:    m.NumNodes(),
+		Arcs:     m.NumArcs(),
+		HasCores: cores != nil,
+	})
+	mf, err := fs.Create(filepath.Join(tmp, manifestName))
+	if err != nil {
+		return err
+	}
+	if _, err := mf.Write(man); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Sync(); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(tmp); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(ckptRoot, ckptDirName(seq))); err != nil {
+		return err
+	}
+	return fs.SyncDir(ckptRoot)
+}
+
+// writeCores stores the core-number array: u32 n, n little-endian u32
+// values, u32 CRC32C of everything before it.
+func writeCores(fs faultfs.FS, path string, cores []uint32) error {
+	buf := make([]byte, 4+4*len(cores)+4)
+	binary.LittleEndian.PutUint32(buf, uint32(len(cores)))
+	for i, c := range cores {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], c)
+	}
+	crc := crc32.Checksum(buf[:len(buf)-4], castagnoli)
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc)
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readCores loads and checks a cores file.
+func readCores(fs faultfs.FS, path string) ([]uint32, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("wal: cores file too short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) != 4+4*n+4 {
+		return nil, fmt.Errorf("wal: cores file length %d, want %d", len(data), 4+4*n+4)
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[:len(data)-4], castagnoli); got != want {
+		return nil, fmt.Errorf("wal: cores file crc %d, want %d", got, want)
+	}
+	cores := make([]uint32, n)
+	for i := range cores {
+		cores[i] = binary.LittleEndian.Uint32(data[4+4*i:])
+	}
+	return cores, nil
+}
+
+// ckptEntry locates one committed checkpoint directory.
+type ckptEntry struct {
+	seq  uint64
+	path string
+}
+
+// listCheckpoints returns committed checkpoints sorted newest-first.
+// Tmp directories and stray names are ignored.
+func listCheckpoints(fs faultfs.FS, root string) ([]ckptEntry, error) {
+	ckptRoot := filepath.Join(root, "ckpt")
+	ents, err := fs.ReadDir(ckptRoot)
+	if err != nil {
+		return nil, nil // no ckpt directory yet
+	}
+	var out []ckptEntry
+	for _, e := range ents {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		seq, err := strconv.ParseUint(e.Name(), 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, ckptEntry{seq: seq, path: filepath.Join(ckptRoot, e.Name())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out, nil
+}
+
+// validateCheckpoint parses the manifest and fully verifies the graph
+// tables (sizes and CRC32C), returning the manifest on success.
+func validateCheckpoint(fs faultfs.FS, path string) (manifest, error) {
+	data, err := fs.ReadFile(filepath.Join(path, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return manifest{}, err
+	}
+	if err := storage.Verify(filepath.Join(path, ckptGraphBase)); err != nil {
+		return manifest{}, err
+	}
+	return m, nil
+}

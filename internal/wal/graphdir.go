@@ -1,0 +1,411 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kcore/internal/faultfs"
+	"kcore/internal/stats"
+)
+
+// ErrNoData reports a graph directory with neither a checkpoint nor WAL
+// records: nothing was ever made durable.
+var ErrNoData = errors.New("wal: no durable state in graph directory")
+
+// ErrNoCheckpoint reports WAL records with no checkpoint that
+// validates: the log tail alone cannot reconstruct the graph.
+var ErrNoCheckpoint = errors.New("wal: no usable checkpoint")
+
+// Options configures a GraphDir.
+type Options struct {
+	// FS routes all WAL/checkpoint file operations; nil means the real
+	// filesystem. Tests install a faultfs.Injector here.
+	FS faultfs.FS
+	// Policy is the sync policy for log appends.
+	Policy SyncPolicy
+	// SegmentBytes is the log segment roll threshold; 0 picks
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// Counters receives WAL instrumentation; nil allocates a private set.
+	Counters *stats.WalCounters
+	// IO is charged for checkpoint table writes at block granularity;
+	// nil allocates a default-block-size counter.
+	IO *stats.IOCounter
+}
+
+// GraphDir owns one graph's durability directory: its per-session logs,
+// its checkpoints, and the retention rule tying them together (keep the
+// newest two checkpoints; drop log segments entirely at or below the
+// older retained checkpoint's LSN).
+type GraphDir struct {
+	fs       faultfs.FS
+	dir      string
+	policy   SyncPolicy
+	segBytes int64
+	ctr      *stats.WalCounters
+	io       *stats.IOCounter
+	logs     []*Log
+	nextSeq  uint64
+}
+
+func walRoot(dir string) string { return filepath.Join(dir, "wal") }
+
+func sessionDir(dir string, id int) string {
+	return filepath.Join(walRoot(dir), "s"+strconv.Itoa(id))
+}
+
+// LiveDir is where the engine's mutable working graph lives inside a
+// durable graph directory.
+func LiveDir(dir string) string { return filepath.Join(dir, "live") }
+
+// LiveBase is the storage path prefix of the working graph.
+func LiveBase(dir string) string { return filepath.Join(LiveDir(dir), "graph") }
+
+// Open creates (or reopens) the durability directory with one log per
+// writer session. Existing checkpoints set the next sequence number;
+// logs always start fresh segments (recovery resets them explicitly).
+func Open(dir string, sessions int, opts *Options) (*GraphDir, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
+	}
+	if o.Counters == nil {
+		o.Counters = &stats.WalCounters{}
+	}
+	if o.IO == nil {
+		o.IO = stats.NewIOCounter(0)
+	}
+	if sessions < 1 {
+		sessions = 1
+	}
+	g := &GraphDir{
+		fs:       o.FS,
+		dir:      dir,
+		policy:   o.Policy,
+		segBytes: o.SegmentBytes,
+		ctr:      o.Counters,
+		io:       o.IO,
+		nextSeq:  1,
+	}
+	if err := g.fs.MkdirAll(walRoot(dir), 0o755); err != nil {
+		return nil, err
+	}
+	cks, err := listCheckpoints(g.fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(cks) > 0 {
+		g.nextSeq = cks[0].seq + 1
+	}
+	g.logs = make([]*Log, sessions)
+	for i := range g.logs {
+		l, err := newLog(g.fs, sessionDir(dir, i), i, g.segBytes, g.policy, g.ctr)
+		if err != nil {
+			g.closeLogs()
+			return nil, err
+		}
+		g.logs[i] = l
+	}
+	return g, nil
+}
+
+// Counters exposes the WAL instrumentation.
+func (g *GraphDir) Counters() *stats.WalCounters { return g.ctr }
+
+// Log returns session i's append log.
+func (g *GraphDir) Log(i int) *Log { return g.logs[i] }
+
+// SyncAll fsyncs every session log; the graph-level commit point calls
+// this before acknowledging a Sync.
+func (g *GraphDir) SyncAll() error {
+	var firstErr error
+	for _, l := range g.logs {
+		if err := l.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Checkpoint writes a new committed checkpoint of the mirror at lsn,
+// then applies retention: the newest two checkpoints survive and every
+// log segment whose records all sit at or below the older survivor's
+// LSN is removed.
+func (g *GraphDir) Checkpoint(lsn uint64, m *Mirror, cores []uint32) error {
+	seq := g.nextSeq
+	if err := writeCheckpoint(g.fs, g.dir, seq, lsn, m, cores, g.io); err != nil {
+		return err
+	}
+	g.nextSeq = seq + 1
+	g.ctr.NoteCheckpoint()
+	cks, err := listCheckpoints(g.fs, g.dir)
+	if err != nil {
+		return err
+	}
+	for _, ck := range cks {
+		if ck.seq+1 < seq { // keep seq and seq-1 (when present)
+			if err := g.fs.RemoveAll(ck.path); err != nil {
+				return err
+			}
+		}
+	}
+	cutoff := lsn
+	for _, ck := range cks {
+		if ck.seq < seq {
+			// The oldest retained checkpoint bounds what replay could
+			// ever need.
+			data, err := g.fs.ReadFile(filepath.Join(ck.path, manifestName))
+			if err == nil {
+				if man, perr := parseManifest(data); perr == nil && man.LSN < cutoff {
+					cutoff = man.LSN
+				}
+			}
+		}
+	}
+	for i := range g.logs {
+		if err := truncateBelow(g.fs, sessionDir(g.dir, i), cutoff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetLogs closes every log and deletes the whole WAL tree, so the
+// next appends start fresh segments. Recovery calls this right after
+// writing its post-replay checkpoint: old segments (including any torn
+// tails) are dead weight once a committed checkpoint covers them.
+func (g *GraphDir) ResetLogs() error {
+	g.closeLogs()
+	if err := g.fs.RemoveAll(walRoot(g.dir)); err != nil {
+		return err
+	}
+	for i := range g.logs {
+		l, err := newLog(g.fs, sessionDir(g.dir, i), i, g.segBytes, g.policy, g.ctr)
+		if err != nil {
+			return err
+		}
+		g.logs[i] = l
+	}
+	return nil
+}
+
+func (g *GraphDir) closeLogs() {
+	for _, l := range g.logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// Close fsyncs (policy permitting) and closes every log.
+func (g *GraphDir) Close() error {
+	var firstErr error
+	for _, l := range g.logs {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Recovered is the outcome of scanning a graph directory: the chosen
+// checkpoint, the consecutive replay tail beyond it, and damage
+// classification.
+type Recovered struct {
+	// Manifest describes the chosen checkpoint; Path is its directory.
+	Manifest manifest
+	Path     string
+	// Cores is the checkpoint's core-number array when one was stored
+	// (quiescent checkpoint) and it verified; nil otherwise.
+	Cores []uint32
+	// Fallback reports that the newest checkpoint did not validate and
+	// an older one was used.
+	Fallback bool
+	// Records is the replay tail: records with consecutive LSNs starting
+	// at Manifest.LSN+1, in order.
+	Records []Record
+	// Gap reports that readable records beyond the consecutive prefix
+	// were discarded. A gap can only cover unacknowledged writes (an
+	// acked Sync fsyncs every log), so this is data loss within the
+	// durability contract, not damage.
+	Gap bool
+	// Torn reports a torn final record in at least one log — the normal
+	// signature of a crash mid-append.
+	Torn bool
+	// Damaged reports corruption past repair: mid-log damage, duplicate
+	// LSNs, or an unreadable cores cross-check. The caller should serve
+	// the recovered state read-only.
+	Damaged bool
+	// Reason explains Damaged (and Fallback) for logs and stats.
+	Reason string
+}
+
+// MaxLSN reports the highest LSN the recovered state includes.
+func (r *Recovered) MaxLSN() uint64 {
+	if n := len(r.Records); n > 0 {
+		return r.Records[n-1].LSN
+	}
+	return r.Manifest.LSN
+}
+
+// Scan inspects a graph directory and computes what can be recovered.
+// It never modifies the directory. With no usable checkpoint it returns
+// ErrNoData (nothing durable at all) or ErrNoCheckpoint (log records
+// whose base image is gone).
+func Scan(fsys faultfs.FS, dir string) (*Recovered, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	cks, err := listCheckpoints(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &Recovered{}
+	chosen := -1
+	var reasons []string
+	for i, ck := range cks {
+		man, verr := validateCheckpoint(fsys, ck.path)
+		if verr != nil {
+			reasons = append(reasons, fmt.Sprintf("checkpoint %d: %v", ck.seq, verr))
+			continue
+		}
+		res.Manifest = man
+		res.Path = ck.path
+		res.Fallback = i > 0
+		chosen = i
+		break
+	}
+	// Gather the log tails regardless, so the no-checkpoint cases can
+	// tell "empty" from "orphaned log".
+	recs, torn, damaged, reason, err := scanLogs(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if chosen < 0 {
+		if len(cks) == 0 && len(recs) == 0 && !torn {
+			return nil, ErrNoData
+		}
+		if len(reasons) > 0 {
+			return nil, fmt.Errorf("%w (%s)", ErrNoCheckpoint, strings.Join(reasons, "; "))
+		}
+		return nil, ErrNoCheckpoint
+	}
+	res.Torn = torn
+	res.Damaged = damaged
+	if res.Fallback || damaged {
+		reasons = append(reasons, reason)
+		res.Reason = strings.Join(reasons, "; ")
+	}
+	if res.Manifest.HasCores {
+		cores, cerr := readCores(fsys, filepath.Join(res.Path, coresName))
+		if cerr != nil {
+			res.Damaged = true
+			res.Reason = strings.TrimPrefix(res.Reason+"; cores: "+cerr.Error(), "; ")
+		} else {
+			res.Cores = cores
+		}
+	}
+	// Merge to the consecutive prefix past the checkpoint.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
+	next := res.Manifest.LSN + 1
+	for _, rec := range recs {
+		if rec.LSN < next {
+			continue
+		}
+		if rec.LSN > next {
+			res.Gap = true
+			break
+		}
+		res.Records = append(res.Records, rec)
+		next++
+	}
+	return res, nil
+}
+
+// scanLogs reads every session log under dir and classifies damage.
+func scanLogs(fsys faultfs.FS, dir string) (recs []Record, torn, damaged bool, reason string, err error) {
+	ents, derr := fsys.ReadDir(walRoot(dir))
+	if derr != nil {
+		if os.IsNotExist(derr) {
+			return nil, false, false, "", nil
+		}
+		return nil, false, false, "", derr
+	}
+	seen := make(map[uint64]bool)
+	var reasons []string
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "s") {
+			continue
+		}
+		sdir := filepath.Join(walRoot(dir), e.Name())
+		lrecs, ltorn, ldmg, lerr := readLogDir(fsys, sdir)
+		if lerr != nil {
+			return nil, false, false, "", lerr
+		}
+		if ltorn {
+			torn = true
+		}
+		if ldmg {
+			damaged = true
+			reasons = append(reasons, fmt.Sprintf("log %s: mid-log corruption", e.Name()))
+		}
+		for _, r := range lrecs {
+			if seen[r.LSN] {
+				damaged = true
+				reasons = append(reasons, fmt.Sprintf("duplicate lsn %d", r.LSN))
+				continue
+			}
+			seen[r.LSN] = true
+			recs = append(recs, r)
+		}
+	}
+	return recs, torn, damaged, strings.Join(reasons, "; "), nil
+}
+
+// CopyLive rebuilds dir/live as a copy of the chosen checkpoint's graph
+// files, returning the storage base path of the copy. The engine serves
+// (and compacts) the live copy, so the committed checkpoint files are
+// never touched.
+func CopyLive(dir, ckptPath string) (string, error) {
+	live := LiveDir(dir)
+	if err := os.RemoveAll(live); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(live, 0o755); err != nil {
+		return "", err
+	}
+	for _, ext := range []string{".meta", ".nt", ".et"} {
+		src := filepath.Join(ckptPath, ckptGraphBase+ext)
+		dst := LiveBase(dir) + ext
+		if err := copyFile(src, dst); err != nil {
+			return "", err
+		}
+	}
+	return LiveBase(dir), nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
