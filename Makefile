@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet doc bench bench-serve bench-wal crash-sweep fuzz profile clean
+.PHONY: all test race vet doc bench bench-serve bench-wal bench-replication crash-sweep fuzz profile clean
 
 all: test vet
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzShardedAgreesWithSingleEngine -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
 	$(GO) test -fuzz=FuzzComposeRepairMatchesFullPeel -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
 	$(GO) test -fuzz=FuzzMaintenanceSequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/maintain
+	$(GO) test -fuzz=FuzzChangeStreamDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/replica
 
 # Full serve benchmark grid — reader throughput, mixed workloads,
 # cached-vs-uncached memoized queries, and 1-vs-N-graph registry runs;
@@ -50,6 +51,13 @@ bench-serve:
 # BENCH_serve.json without touching the serve grid.
 bench-wal:
 	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitWalBenchJSON -count=1 -v ./internal/engine
+
+# Replication lag: the leader-apply-to-follower-visible round trip and
+# cold-follower catch-up throughput; merges the replication_lag entry
+# into BENCH_serve.json without touching the serve grid. Recorded at
+# GOMAXPROCS=4 like the rest of the baseline.
+bench-replication:
+	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json GOMAXPROCS=4 $(GO) test -run TestEmitReplicationBenchJSON -count=1 -v ./internal/replica
 
 # The crash-point fault-injection suite: the exhaustive boundary sweep
 # plus a longer randomized torn-write run. CRASHSEED pins a failing seed

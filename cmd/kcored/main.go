@@ -10,6 +10,7 @@
 // Usage:
 //
 //	kcored -graph /data/twitter -addr :8080 [-shards 4] [-partitioner ldg] [-load social=/data/social ...]
+//	kcored -follow http://leader:7171 -addr :7272
 //
 // The -graph flag names the default graph (served both at /g/default/...
 // and at the pre-registry single-graph routes); each -load name=path
@@ -32,7 +33,17 @@
 // gracefully (drain HTTP, final sync + checkpoint per graph), and a
 // restart with the same -data-dir recovers every graph from its latest
 // checkpoint + WAL tail before -graph/-load open anything anew (a
-// recovered name wins over its flag).
+// recovered name wins over its flag — unless the base file on disk is
+// newer than the recovered checkpoint, in which case the stale recovered
+// graph is dropped and the base is re-decomposed).
+//
+// -follow turns the process into a read replica: instead of opening
+// graphs it bootstraps from the leader's checkpoint download
+// (GET /g/default/checkpoint), tails the leader's change stream
+// (GET /g/default/changes), and serves the same read routes with
+// epoch-consistent bounded-stale data (internal/replica). Local writes
+// are refused with 409. -follow composes with -data-dir (the follower's
+// checkpoint working directory) but not with -graph/-load.
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"kcore"
 	"kcore/internal/engine"
 	"kcore/internal/httpapi"
+	"kcore/internal/replica"
 	"kcore/internal/serve"
 	"kcore/internal/wal"
 )
@@ -74,6 +86,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: every graph gets a write-ahead log and checkpoints under <dir>/<name>/, and a restart with the same -data-dir recovers all graphs (checkpoint + WAL replay) before opening any -graph/-load path anew")
 		fsyncPol  = flag.String("fsync", "interval", "WAL sync policy with -data-dir: always (fsync every batch), interval (background fsync; a crash may lose the last unsynced batches), never (fsync only at checkpoints/shutdown)")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir (0 disables periodic checkpoints; one is still taken at startup and on clean shutdown)")
+		follow    = flag.String("follow", "", "leader base URL (http://host:port): run as a read replica of the leader's default graph instead of opening any graph locally; incompatible with -graph/-load")
 	)
 	extra := make(map[string]string)
 	flag.Func("load", "additional graph as name=path (repeatable)", func(s string) error {
@@ -88,8 +101,12 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if *graphBase == "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "kcored: -graph is required (or -data-dir with recoverable graphs)")
+	if *follow != "" && (*graphBase != "" || len(extra) > 0) {
+		fmt.Fprintln(os.Stderr, "kcored: -follow replicates the leader's graph; drop -graph/-load")
+		os.Exit(2)
+	}
+	if *follow == "" && *graphBase == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "kcored: -graph is required (or -data-dir with recoverable graphs, or -follow)")
 		os.Exit(2)
 	}
 
@@ -102,7 +119,9 @@ func main() {
 		},
 		Open: kcore.OpenOptions{BlockSize: *blockSize},
 	}
-	if *dataDir != "" {
+	if *dataDir != "" && *follow == "" {
+		// A follower keeps no WAL of its own: -data-dir only names its
+		// checkpoint working directory below.
 		policy, err := wal.ParseSyncPolicy(*fsyncPol)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kcored: -fsync: %v\n", err)
@@ -117,8 +136,8 @@ func main() {
 	reg := engine.NewRegistry(&opts)
 	defer reg.Close()
 
-	recovered := make(map[string]bool)
-	if *dataDir != "" {
+	recovered := make(map[string]engine.GraphRecovery)
+	if opts.Durability != nil {
 		rep, err := reg.Recover()
 		if err != nil {
 			fatal(err)
@@ -129,26 +148,57 @@ func main() {
 				fmt.Fprintf(os.Stderr, "kcored: graph %q unrecoverable: %v\n", g.Name, g.Err)
 				continue
 			}
-			recovered[g.Name] = true
+			recovered[g.Name] = g
 			if g.Degraded {
 				fmt.Printf("kcored: graph %q recovered DEGRADED (read-only): %s\n", g.Name, g.Reason)
 			}
 		}
 	}
 
-	if *graphBase != "" && !recovered[DefaultGraph] {
-		fmt.Printf("kcored: decomposing %s\n", *graphBase)
-		if _, err := reg.OpenSharded(DefaultGraph, *graphBase, *shards, *parter); err != nil {
-			fatal(err)
-		}
-	}
-	for name, path := range extra {
-		if recovered[name] {
-			fmt.Printf("kcored: graph %q already recovered from %s, skipping -load\n", name, *dataDir)
-			continue
+	// open decomposes a base path under name unless recovery already
+	// brought that name up from a checkpoint at least as fresh as the
+	// base file. A base modified after the recovered checkpoint means the
+	// operator refreshed the data: the stale recovered graph (and its
+	// durable dir) is dropped and the base re-decomposed.
+	open := func(name, path string) {
+		if gr, ok := recovered[name]; ok {
+			if !engine.BaseNewerThanCheckpoint(path, gr) {
+				fmt.Printf("kcored: graph %q already recovered from %s, skipping base %s\n", name, *dataDir, path)
+				return
+			}
+			fmt.Printf("kcored: graph %q base %s is newer than its recovered checkpoint, re-decomposing\n", name, path)
+			if err := reg.Drop(name); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("kcored: decomposing %s (graph %q)\n", path, name)
 		if _, err := reg.OpenSharded(name, path, *shards, *parter); err != nil {
+			fatal(err)
+		}
+	}
+	if *graphBase != "" {
+		open(DefaultGraph, *graphBase)
+	}
+	for name, path := range extra {
+		open(name, path)
+	}
+
+	if *follow != "" {
+		fmt.Printf("kcored: following %s (graph %q)\n", *follow, DefaultGraph)
+		f, err := replica.New(replica.Options{
+			Leader: *follow,
+			Graph:  DefaultGraph,
+			Dir:    *dataDir,
+			Serve:  opts.Serve,
+			Open:   opts.Open,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// The registry takes ownership: its deferred Close stops the
+		// follower's stream loop and removes the bootstrap dir.
+		if err := reg.Register(DefaultGraph, f); err != nil {
+			f.Close() //nolint:errcheck // register error wins
 			fatal(err)
 		}
 	}
@@ -199,7 +249,7 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			srv.Close()
 		}
-		if *dataDir != "" {
+		if opts.Durability != nil {
 			fmt.Println("kcored: syncing and checkpointing graphs")
 		}
 	}

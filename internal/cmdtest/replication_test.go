@@ -1,0 +1,233 @@
+package cmdtest
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// replicaStats is the replica block of a follower's /stats response.
+type replicaStats struct {
+	AppliedLSN uint64 `json:"applied_lsn"`
+	LeaderLSN  uint64 `json:"leader_lsn"`
+	Bootstraps int64  `json:"bootstraps"`
+	Records    int64  `json:"records_applied"`
+}
+
+// followerStats fetches /stats from a follower and returns its replica
+// block, failing the test if the block is absent.
+func followerStats(t *testing.T, base string) replicaStats {
+	t.Helper()
+	var st struct {
+		Replica *replicaStats `json:"replica"`
+	}
+	getJSON(t, http.StatusOK, base+"/stats", &st)
+	if st.Replica == nil {
+		t.Fatal("follower /stats lacks the replica block")
+	}
+	return *st.Replica
+}
+
+// waitFollowerLSN polls a follower's /stats until its apply cursor
+// reaches lsn.
+func waitFollowerLSN(t *testing.T, base string, lsn uint64, within time.Duration) replicaStats {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		rs := followerStats(t, base)
+		if rs.AppliedLSN >= lsn {
+			return rs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at applied_lsn %d, want >= %d", rs.AppliedLSN, lsn)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// coreVec reads core numbers for the first n nodes.
+func coreVec(t *testing.T, base string, n int) []uint32 {
+	t.Helper()
+	out := make([]uint32, n)
+	var core struct {
+		Core uint32 `json:"core"`
+	}
+	for v := 0; v < n; v++ {
+		getJSON(t, http.StatusOK, fmt.Sprintf("%s/core?v=%d", base, v), &core)
+		out[v] = core.Core
+	}
+	return out
+}
+
+// TestKcoredFollowerEndToEnd is the replication smoke test over real
+// processes: a durable leader and a -follow follower. The follower
+// bootstraps from the leader's checkpoint, tails its change stream,
+// converges to every leader write, refuses local writes, and — killed
+// hard mid-stream and restarted on the same directory — bootstraps
+// again and reconverges.
+func TestKcoredFollowerEndToEnd(t *testing.T) {
+	leaderURL, _, _ := startKcoredProc(t,
+		"-graph", graphBase, "-addr", "127.0.0.1:0", "-flush", "1ms",
+		"-data-dir", t.TempDir(), "-fsync", "always")
+
+	// One applied write before the follower exists: it must arrive via
+	// the bootstrap checkpoint or the stream, either way exactly once.
+	var upd struct {
+		Enqueued int    `json:"enqueued"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	postJSON(t, http.StatusOK, leaderURL+"/update?wait=1",
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+
+	followDir := t.TempDir()
+	followerURL, followerCmd, startup := startKcoredProc(t,
+		"-follow", leaderURL, "-addr", "127.0.0.1:0", "-flush", "1ms",
+		"-data-dir", followDir)
+	if !strings.Contains(strings.Join(startup, "\n"), "following "+leaderURL) {
+		t.Fatalf("follower startup does not announce the leader: %q", startup)
+	}
+
+	rs := waitFollowerLSN(t, followerURL, 1, 10*time.Second)
+	if rs.Bootstraps < 1 {
+		t.Fatalf("follower converged without a bootstrap: %+v", rs)
+	}
+	if got, want := coreVec(t, followerURL, 24), coreVec(t, leaderURL, 24); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("follower cores %v differ from leader %v", got, want)
+	}
+	resp, err := http.Get(followerURL + "/core?v=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Kcore-Epoch") == "" {
+		t.Fatal("follower read lacks the X-Kcore-Epoch header")
+	}
+
+	// Local writes are refused as read-only, and reads keep working.
+	var refusal struct {
+		Error    string `json:"error"`
+		ReadOnly bool   `json:"read_only"`
+	}
+	postJSON(t, http.StatusConflict, followerURL+"/update",
+		`{"updates":[{"op":"insert","u":0,"v":1}]}`, &refusal)
+	if refusal.Error == "" || !refusal.ReadOnly {
+		t.Fatalf("follower write refusal = %+v, want error text and read_only", refusal)
+	}
+
+	// A write applied while the follower is connected must arrive over
+	// the live stream (records_applied advances, no extra bootstrap).
+	postJSON(t, http.StatusOK, leaderURL+"/update?wait=1",
+		`{"updates":[{"op":"insert","u":0,"v":1}]}`, &upd)
+	rs = waitFollowerLSN(t, followerURL, 2, 10*time.Second)
+	if rs.Records < 1 {
+		t.Fatalf("follower converged to LSN 2 without stream records: %+v", rs)
+	}
+
+	// Kill the follower hard mid-stream (no graceful shutdown), keep
+	// writing on the leader, restart on the same directory: it must
+	// come back, catch up, and match the leader again.
+	if err := followerCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	followerCmd.Wait() //nolint:errcheck // killed: non-zero exit expected
+	postJSON(t, http.StatusOK, leaderURL+"/update?wait=1",
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+
+	followerURL2, _, _ := startKcoredProc(t,
+		"-follow", leaderURL, "-addr", "127.0.0.1:0", "-flush", "1ms",
+		"-data-dir", followDir)
+	waitFollowerLSN(t, followerURL2, 3, 10*time.Second)
+	if got, want := coreVec(t, followerURL2, 24), coreVec(t, leaderURL, 24); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restarted follower cores %v differ from leader %v", got, want)
+	}
+}
+
+// TestKcoredFollowerFlagConflicts checks the flag validation: -follow
+// composes with neither -graph nor -load.
+func TestKcoredFollowerFlagConflicts(t *testing.T) {
+	out, err := exec.Command(binDir+"/kcored",
+		"-follow", "http://127.0.0.1:1", "-graph", graphBase).CombinedOutput()
+	if err == nil {
+		t.Fatalf("-follow with -graph did not fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-follow") {
+		t.Fatalf("conflict error does not mention -follow: %s", out)
+	}
+}
+
+// TestKcoredStaleBaseRedecomposed is the checkpoint-aware -load/-graph
+// regression test: a recovered graph normally wins over its base flag,
+// but when the base files on disk are newer than the recovered
+// checkpoint the daemon must drop the stale recovered state and
+// re-decompose the refreshed base.
+func TestKcoredStaleBaseRedecomposed(t *testing.T) {
+	base := genFixture(t, 100, 21)
+	dataDir := t.TempDir()
+	args := []string{"-graph", base, "-addr", "127.0.0.1:0", "-flush", "1ms",
+		"-data-dir", dataDir, "-fsync", "always"}
+
+	url1, cmd1, _ := startKcoredProc(t, args...)
+	var upd struct {
+		Enqueued int `json:"enqueued"`
+	}
+	postJSON(t, http.StatusOK, url1+"/update?wait=1",
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+	if err := cmd1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd1.Wait(); err != nil {
+		t.Fatalf("kcored did not exit cleanly: %v", err)
+	}
+
+	// Unchanged base: recovery wins, no decomposition.
+	url2, cmd2, startup := startKcoredProc(t, args...)
+	if joined := strings.Join(startup, "\n"); !strings.Contains(joined, "skipping base") {
+		t.Fatalf("restart with stale-free base did not skip decomposition: %q", startup)
+	}
+	var st struct {
+		Durability *struct {
+			LSN uint64 `json:"lsn"`
+		} `json:"durability"`
+	}
+	getJSON(t, http.StatusOK, url2+"/stats", &st)
+	if st.Durability == nil || st.Durability.LSN != 1 {
+		t.Fatalf("recovered graph durability = %+v, want lsn 1", st.Durability)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("kcored did not exit cleanly: %v", err)
+	}
+
+	// "Refresh" the base: bump its file times past the final checkpoint.
+	future := time.Now().Add(time.Hour)
+	for _, ext := range []string{".meta", ".nt", ".et"} {
+		if err := os.Chtimes(base+ext, future, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+	url3, _, startup := startKcoredProc(t, args...)
+	joined := strings.Join(startup, "\n")
+	if !strings.Contains(joined, "re-decomposing") {
+		t.Fatalf("restart with refreshed base did not re-decompose: %q", startup)
+	}
+	getJSON(t, http.StatusOK, url3+"/stats", &st)
+	if st.Durability == nil || st.Durability.LSN != 0 {
+		t.Fatalf("re-decomposed graph durability = %+v, want a fresh WAL at lsn 0", st.Durability)
+	}
+	// The re-decomposition restored the base state: the edge deleted in
+	// the first run is back, so deleting it again succeeds (an absent
+	// edge would be rejected and leave the LSN at 0).
+	postJSON(t, http.StatusOK, url3+"/update?wait=1",
+		`{"updates":[{"op":"delete","u":0,"v":1}]}`, &upd)
+	getJSON(t, http.StatusOK, url3+"/stats", &st)
+	if st.Durability == nil || st.Durability.LSN != 1 {
+		t.Fatalf("post-redecompose delete not applied: durability = %+v", st.Durability)
+	}
+}

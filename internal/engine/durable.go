@@ -35,6 +35,13 @@ type DurabilityOptions struct {
 	// FS routes durability file operations; nil selects the real
 	// filesystem. The crash suite installs a faultfs.Injector.
 	FS faultfs.FS
+	// FeedRecords bounds the in-memory change-stream window served to
+	// replicas (GET /g/{name}/changes) in records; 0 selects 8192. A
+	// follower whose cursor falls out of the window catches up from a
+	// checkpoint instead.
+	FeedRecords int
+	// FeedBytes bounds the same window in encoded bytes; 0 selects 8 MiB.
+	FeedBytes int64
 }
 
 func (o DurabilityOptions) withDefaults() DurabilityOptions {
@@ -43,6 +50,12 @@ func (o DurabilityOptions) withDefaults() DurabilityOptions {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.FeedRecords <= 0 {
+		o.FeedRecords = 8192
+	}
+	if o.FeedBytes <= 0 {
+		o.FeedBytes = 8 << 20
 	}
 	return o
 }
@@ -63,6 +76,27 @@ type Checkpointer interface {
 // recovery counters; surfaced under /g/{name}/stats.
 type DurabilityStatser interface {
 	DurabilityStats() stats.WalSnapshot
+}
+
+// ChangeStreamer is the optional engine extension replication leaders
+// implement: the applied-batch change feed, the current commit-point
+// LSN, and an open handle on the newest committed checkpoint. The HTTP
+// layer mounts it at GET /g/{name}/changes and GET /g/{name}/checkpoint.
+type ChangeStreamer interface {
+	// ChangeFeed returns the in-memory window of applied batch records.
+	ChangeFeed() *wal.Feed
+	// CurrentLSN reports the newest allocated LSN.
+	CurrentLSN() uint64
+	// OpenCheckpoint pins and opens the newest committed checkpoint for
+	// download; the caller must Close the handle.
+	OpenCheckpoint() (*wal.CheckpointHandle, error)
+}
+
+// ReplicaStatser is the optional engine extension replication followers
+// implement: cursor, lag, and stream-health counters, surfaced under
+// /g/{name}/stats and GET /graphs.
+type ReplicaStatser interface {
+	ReplicaStats() stats.ReplicaSnapshot
 }
 
 // Unwrapper lets wrapping engines (the durable shell) expose the engine
@@ -101,6 +135,12 @@ func AsDurabilityStatser(e Engine) (DurabilityStatser, bool) {
 	return as[DurabilityStatser](e)
 }
 
+// AsChangeStreamer finds change-stream support on e or any wrapped engine.
+func AsChangeStreamer(e Engine) (ChangeStreamer, bool) { return as[ChangeStreamer](e) }
+
+// AsReplicaStatser finds replica stats support on e or any wrapped engine.
+func AsReplicaStatser(e Engine) (ReplicaStatser, bool) { return as[ReplicaStatser](e) }
+
 // walFailure is the sticky error after a WAL append or fsync fails:
 // the engine refuses new writes (applied-but-unlogged state would
 // silently diverge from what a restart recovers).
@@ -118,9 +158,10 @@ type durable struct {
 	opts  DurabilityOptions
 	g     *kcore.Graph // owned live graph handle (single-writer recovery); may be nil
 
-	mu     sync.Mutex // the commit point: guards lsn + mirror
+	mu     sync.Mutex // the commit point: guards lsn + mirror + feed order
 	lsn    uint64
 	mirror *wal.Mirror
+	feed   *wal.Feed // replica change-stream window, appended under mu
 
 	enc [][]byte // per-session record scratch, owned by writer goroutines
 
@@ -142,6 +183,7 @@ func newDurable(name string, sessions int, opts DurabilityOptions) *durable {
 		ctr:  &stats.WalCounters{},
 		opts: opts,
 		enc:  make([][]byte, sessions),
+		feed: wal.NewFeed(opts.FeedRecords, opts.FeedBytes),
 		quit: make(chan struct{}),
 	}
 	return d
@@ -184,6 +226,10 @@ func (d *durable) onApply(session int, deletes, inserts []kcore.Edge) {
 	d.lsn++
 	lsn := d.lsn
 	d.mirror.Apply(deletes, inserts)
+	// The feed append must happen under the commit point: LSNs are
+	// allocated here, and the feed's contract is strictly increasing,
+	// gap-free appends (followers replay it in order).
+	d.feed.Append(lsn, deletes, inserts)
 	d.mu.Unlock()
 	if d.broken.Load() != nil {
 		// The log already failed: the mirror must keep tracking what the
@@ -369,6 +415,51 @@ func (d *durable) Checkpoint() error {
 	return d.checkpoint()
 }
 
+// ChangeFeed implements ChangeStreamer.
+func (d *durable) ChangeFeed() *wal.Feed { return d.feed }
+
+// CurrentLSN implements ChangeStreamer.
+func (d *durable) CurrentLSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lsn
+}
+
+// OpenCheckpoint implements ChangeStreamer: the checkpoint mutex pins
+// the newest committed checkpoint against retention while its files are
+// opened; once the fds are held, a concurrent checkpoint's retention
+// pass can remove the directory without hurting the download.
+//
+// Self-healing: a checkpoint whose LSN predates the feed's retention
+// window cannot seed a follower that can then stream — its cursor would
+// answer 410 immediately and the follower would bootstrap forever. When
+// the newest checkpoint is that stale, a fresh one is committed and
+// served instead, so catch-up always lands inside the servable window.
+func (d *durable) OpenCheckpoint() (*wal.CheckpointHandle, error) {
+	open := func() (*wal.CheckpointHandle, error) {
+		d.ckptMu.Lock()
+		defer d.ckptMu.Unlock()
+		return d.gd.OpenNewestCheckpoint()
+	}
+	h, err := open()
+	if err != nil {
+		return nil, err
+	}
+	if h.Manifest.LSN >= d.feed.OldestCursor() || d.degraded {
+		return h, nil
+	}
+	if cerr := d.checkpoint(); cerr == nil {
+		if fresh, ferr := open(); ferr == nil {
+			h.Close() //nolint:errcheck // superseded handle
+			return fresh, nil
+		}
+	}
+	// Checkpointing failed (broken durability, full disk): the stale
+	// handle is still a valid bootstrap — the follower just retries the
+	// stream and lands back here.
+	return h, nil
+}
+
 // Close stops the background loops, drains the inner engine, takes a
 // final checkpoint (clean shutdowns therefore restart with an empty
 // replay tail), then tears everything down. Resources are always
@@ -376,6 +467,7 @@ func (d *durable) Checkpoint() error {
 func (d *durable) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.quit)
+		d.feed.Close() // wake streaming change handlers so they can wind down
 		d.wg.Wait()
 		var firstErr error
 		if !d.degraded {

@@ -65,6 +65,10 @@ type Rebalancer interface {
 }
 
 var (
+	// ErrReadOnly reports a write on a read-only engine: a replication
+	// follower refuses local mutations (its state is exactly the
+	// leader's change stream, applied in LSN order).
+	ErrReadOnly = errors.New("engine: graph is a read-only follower")
 	// ErrNotFound reports a graph name with no registered engine.
 	ErrNotFound = errors.New("engine: graph not found")
 	// ErrExists reports a registration under an already-taken name.

@@ -235,6 +235,35 @@ type GraphRecovery struct {
 	Reason   string        `json:"reason,omitempty"`
 	Err      error         `json:"-"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
+	// CheckpointTime is the modification time of the chosen checkpoint's
+	// manifest — when the recovered state was last made durable. Zero
+	// when recovery failed before choosing a checkpoint. kcored compares
+	// it against -graph/-load base files to decide whether a recovered
+	// graph is staler than its base (see BaseNewerThanCheckpoint).
+	CheckpointTime time.Time `json:"checkpoint_time,omitzero"`
+}
+
+// BaseNewerThanCheckpoint reports whether the on-disk base graph at
+// path prefix base was modified after the recovered checkpoint was
+// written — the signal that the operator refreshed the base file and a
+// -load/-graph should re-decompose it instead of keeping the recovered
+// state. Unknown times (missing files, failed recovery) report false,
+// preserving the recovered-name-wins default.
+func BaseNewerThanCheckpoint(base string, gr GraphRecovery) bool {
+	if gr.CheckpointTime.IsZero() {
+		return false
+	}
+	newest := time.Time{}
+	for _, ext := range []string{".meta", ".nt", ".et"} {
+		fi, err := os.Stat(base + ext)
+		if err != nil {
+			return false
+		}
+		if fi.ModTime().After(newest) {
+			newest = fi.ModTime()
+		}
+	}
+	return newest.After(gr.CheckpointTime)
 }
 
 // RecoveryReport aggregates a Recover pass.
@@ -323,6 +352,9 @@ func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
 	if err != nil {
 		return fail(err)
 	}
+	if fi, serr := r.dur.FS.Stat(wal.ManifestPath(sc.Path)); serr == nil {
+		gr.CheckpointTime = fi.ModTime()
+	}
 	shards, partitioner := readGraphConfig(dir)
 	gr.Shards = entryShards(shards)
 	liveBase, err := wal.CopyLive(dir, sc.Path)
@@ -362,6 +394,10 @@ func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
 	d.lsn = sc.MaxLSN()
 	d.mu.Unlock()
 	d.replaying.Store(false)
+	// The change feed restarts at the recovered watermark: replayed
+	// records are covered by the post-recovery checkpoint, so a follower
+	// with an older cursor must catch up from that checkpoint anyway.
+	d.feed.Reset(sc.MaxLSN())
 	if degradedReason == "" {
 		// Re-arm durability: a fresh checkpoint covering the replay,
 		// then fresh logs (old segments, torn tails included, are dead

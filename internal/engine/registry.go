@@ -209,6 +209,23 @@ func (r *Registry) OpenSharded(name, base string, shards int, partitioner string
 	return eng, nil
 }
 
+// Register installs an externally built engine under name — the
+// follower registry mode: a replication follower (internal/replica) or
+// any other self-contained Engine joins the registry and is served,
+// listed, and dropped like a locally opened graph. The registry takes
+// ownership: Drop and Close will Close the engine.
+func (r *Registry) Register(name string, eng Engine) error {
+	if err := r.reserve(name); err != nil {
+		return err
+	}
+	e := &entry{name: name, eng: eng}
+	if !r.commit(name, e) {
+		e.shutdown() //nolint:errcheck // ErrClosed wins
+		return ErrClosed
+	}
+	return nil
+}
+
 // Attach registers a serving engine for an already-open graph under
 // name. The caller keeps ownership of g (it is not closed on Drop) but
 // must not touch it directly while the engine is registered — the
@@ -273,10 +290,16 @@ type GraphInfo struct {
 	Kmax     uint32              `json:"kmax"`
 	Epoch    uint64              `json:"epoch"`
 	Degraded bool                `json:"degraded,omitempty"`
-	Serve    stats.ServeSnapshot `json:"serve"`
+	// Role is "follower" for replication followers; empty for graphs
+	// this process writes itself.
+	Role  string              `json:"role,omitempty"`
+	Serve stats.ServeSnapshot `json:"serve"`
 	// Durability carries the WAL/checkpoint counters for graphs in
 	// data-dir mode; nil otherwise.
 	Durability *stats.WalSnapshot `json:"durability,omitempty"`
+	// Replica carries cursor/lag/stream counters for follower graphs;
+	// nil otherwise.
+	Replica *stats.ReplicaSnapshot `json:"replica,omitempty"`
 }
 
 // List snapshots every registered graph, sorted by name. Each entry's
@@ -308,6 +331,11 @@ func (r *Registry) List() []GraphInfo {
 			w := ds.DurabilityStats()
 			infos[i].Durability = &w
 			infos[i].Degraded = w.Degraded
+		}
+		if rs, ok := AsReplicaStatser(e.eng); ok {
+			rep := rs.ReplicaStats()
+			infos[i].Replica = &rep
+			infos[i].Role = "follower"
 		}
 	}
 	return infos

@@ -16,6 +16,15 @@
 //	POST   /g/{name}/update[?wait=1]    {"updates":[{"op":"insert","u":1,"v":2},..]}
 //	POST   /g/{name}/rebalance          locality-aware repartition (sharded graphs only)
 //	POST   /g/{name}/checkpoint         force a durability checkpoint (data-dir mode only)
+//	GET    /g/{name}/changes?from=L     replication change stream: CRC-framed batch records
+//	                                    with LSN > L plus idle heartbeats (data-dir mode only)
+//	GET    /g/{name}/checkpoint         download the newest committed checkpoint as a tar
+//
+// Every graph read response carries an X-Kcore-Epoch header with the
+// epoch it was served from, so replicas behind a load balancer can be
+// compared for staleness. Writes to graphs that cannot accept them —
+// replication followers and graphs recovered degraded — answer 409
+// with {"error": ..., "read_only": true}.
 //
 // The single-graph routes from before the registry existed (/core,
 // /kcore, /degeneracy, /stats, /update) are kept as aliases for a
@@ -26,15 +35,19 @@
 package httpapi
 
 import (
+	"archive/tar"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"kcore/internal/engine"
 	"kcore/internal/serve"
 	"kcore/internal/shard"
+	"kcore/internal/wal"
 )
 
 // Server routes requests to engines resolved by graph name through a
@@ -65,6 +78,8 @@ func New(reg *engine.Registry, defaultGraph string) *Server {
 	s.mux.HandleFunc("POST /g/{name}/update", s.graph(handleUpdate))
 	s.mux.HandleFunc("POST /g/{name}/rebalance", s.graph(handleRebalance))
 	s.mux.HandleFunc("POST /g/{name}/checkpoint", s.graph(handleCheckpoint))
+	s.mux.HandleFunc("GET /g/{name}/changes", s.graph(handleChanges))
+	s.mux.HandleFunc("GET /g/{name}/checkpoint", s.graph(handleCheckpointFetch))
 	s.mux.HandleFunc("GET /core", s.graph(handleCore))
 	s.mux.HandleFunc("GET /kcore", s.graph(handleKCore))
 	s.mux.HandleFunc("GET /degeneracy", s.graph(handleDegeneracy))
@@ -102,6 +117,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// setEpochHeader tags a graph response with the epoch it was served
+// from; replicas behind a load balancer surface their staleness this way.
+func setEpochHeader(w http.ResponseWriter, seq uint64) {
+	w.Header().Set("X-Kcore-Epoch", strconv.FormatUint(seq, 10))
+}
+
+// refuseWrite maps write-path errors on graphs that cannot accept
+// writes — replication followers (engine.ErrReadOnly) and graphs
+// recovered degraded (engine.ErrDegraded) — to one consistent 409 with
+// a machine-readable body. It reports whether it handled the error.
+func refuseWrite(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, engine.ErrReadOnly) && !errors.Is(err, engine.ErrDegraded) {
+		return false
+	}
+	writeJSON(w, http.StatusConflict, map[string]any{
+		"error":     err.Error(),
+		"read_only": true,
+	})
+	return true
+}
+
+// degradedErrOf surfaces a durable graph's degraded read-only state as
+// an error for handlers whose underlying operation would otherwise
+// bypass the durable shell's write gate.
+func degradedErrOf(eng engine.Engine) error {
+	if ds, ok := engine.AsDurabilityStatser(eng); ok && ds.DurabilityStats().Degraded {
+		return engine.ErrDegraded
+	}
+	return nil
 }
 
 // uintParam parses a required uint32 query parameter.
@@ -224,6 +270,7 @@ func handleCore(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := eng.Snapshot()
+	setEpochHeader(w, snap.Seq)
 	c, err := snap.CoreOf(v)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
@@ -246,6 +293,7 @@ func handleKCore(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	snap := eng.Snapshot()
+	setEpochHeader(w, snap.Seq)
 	// Memoized path: first query per epoch computes the buckets, later
 	// ones (any k) reuse them. The slice is shared with the epoch, so
 	// only read from it; limiting takes a subslice, never a mutation.
@@ -264,6 +312,7 @@ func handleKCore(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 
 func handleDegeneracy(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 	snap := eng.Snapshot()
+	setEpochHeader(w, snap.Seq)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"degeneracy": snap.Kmax,
 		"nodes":      snap.NumNodes(),
@@ -275,6 +324,7 @@ func handleDegeneracy(eng engine.Engine, w http.ResponseWriter, r *http.Request)
 
 func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 	snap := eng.Snapshot()
+	setEpochHeader(w, snap.Seq)
 	resp := map[string]any{
 		"serve":   eng.Stats(),
 		"io":      eng.IOStats(),
@@ -297,6 +347,11 @@ func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 		resp["durability"] = w
 		resp["degraded"] = w.Degraded
 	}
+	// Replication followers expose their apply cursor, the highest
+	// leader LSN observed, and stream health.
+	if rs, ok := engine.AsReplicaStatser(eng); ok {
+		resp["replica"] = rs.ReplicaStats()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -310,6 +365,9 @@ func handleCheckpoint(eng engine.Engine, w http.ResponseWriter, r *http.Request)
 		return
 	}
 	if err := cp.Checkpoint(); err != nil {
+		if refuseWrite(w, err) {
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -336,6 +394,13 @@ func handleRebalance(eng engine.Engine, w http.ResponseWriter, r *http.Request) 
 		httpError(w, http.StatusBadRequest, "graph is not sharded: nothing to rebalance")
 		return
 	}
+	// Rebalance migrates edges through the shard sessions directly, below
+	// the durable shell's write gate — check the degraded flag up front so
+	// a degraded graph answers the same 409 as any other refused write.
+	if err := degradedErrOf(eng); err != nil {
+		refuseWrite(w, err)
+		return
+	}
 	rep, err := rb.Rebalance()
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -351,6 +416,140 @@ func handleRebalance(eng engine.Engine, w http.ResponseWriter, r *http.Request) 
 		"cross_shard_edge_ratio_after":  rep.CrossShardEdgeRatioAfter(),
 		"epoch":                         eng.Snapshot().Seq,
 	})
+}
+
+// changesHeartbeat is how long an idle change stream waits before
+// emitting a heartbeat frame. It doubles as the handler's liveness
+// bound: a stream whose client vanished is discovered by the failed
+// heartbeat write within one interval.
+const changesHeartbeat = 500 * time.Millisecond
+
+// changesBatchMax caps the records pulled from the feed per write, so a
+// follower resuming far behind streams in bounded chunks instead of one
+// giant buffer.
+const changesBatchMax = 256
+
+// handleChanges streams the replication change feed as CRC-framed
+// records (the WAL wire format) with LSN > from, then idles emitting
+// heartbeats until new batches land. A cursor older than the feed's
+// retention window answers 410 Gone with the oldest servable cursor —
+// the follower's signal to bootstrap from a checkpoint instead.
+func handleChanges(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	cs, ok := engine.AsChangeStreamer(eng)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "graph has no change stream (opened without a data dir)")
+		return
+	}
+	var from uint64
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		var err error
+		if from, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad from=%q: not a uint64", raw)
+			return
+		}
+	}
+	feed := cs.ChangeFeed()
+	// Probe the cursor before committing to a streaming response: a
+	// trimmed cursor must surface as a real 410 status, which is
+	// impossible once the header is out.
+	var trimmed *wal.TrimmedError
+	if _, err := feed.TailFrom(from, 1); errors.As(err, &trimmed) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // client gone; nothing to do
+			"error":      err.Error(),
+			"oldest_lsn": trimmed.Oldest,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Kcore-LSN", strconv.FormatUint(cs.CurrentLSN(), 10))
+	setEpochHeader(w, eng.Snapshot().Seq)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	heartbeat := time.NewTimer(changesHeartbeat)
+	defer heartbeat.Stop()
+	cursor := from
+	var buf []byte
+	for {
+		// Capture the wakeup channel before tailing: an append racing an
+		// empty TailFrom then cannot be missed.
+		wait := feed.Wait()
+		recs, err := feed.TailFrom(cursor, changesBatchMax)
+		if err != nil {
+			// Trimmed mid-stream (retention overtook a stalled client):
+			// close the connection; the reconnect gets the 410.
+			return
+		}
+		if len(recs) > 0 {
+			buf = buf[:0]
+			for _, rec := range recs {
+				buf = wal.AppendRecord(buf, rec.LSN, rec.Deletes, rec.Inserts)
+			}
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flush()
+			cursor = recs[len(recs)-1].LSN
+			continue
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(changesHeartbeat)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wait:
+		case <-heartbeat.C:
+			buf = wal.AppendHeartbeat(buf[:0], cs.CurrentLSN())
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flush()
+		}
+	}
+}
+
+// handleCheckpointFetch serves the newest committed checkpoint as a tar
+// archive, for follower bootstrap. The files are pinned open for the
+// whole download, so concurrent checkpoint retention cannot tear it.
+func handleCheckpointFetch(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
+	cs, ok := engine.AsChangeStreamer(eng)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "graph is not durable: no checkpoint to download")
+		return
+	}
+	h, err := cs.OpenCheckpoint()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer h.Close() //nolint:errcheck // read-only handles
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set("X-Kcore-Ckpt-LSN", strconv.FormatUint(h.Manifest.LSN, 10))
+	w.Header().Set("X-Kcore-Ckpt-Seq", strconv.FormatUint(h.Manifest.Seq, 10))
+	w.WriteHeader(http.StatusOK)
+	tw := tar.NewWriter(w)
+	for _, f := range h.Files {
+		hdr := &tar.Header{Name: f.Name, Mode: 0o644, Size: f.Size}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return
+		}
+		if _, err := io.Copy(tw, f.Reader()); err != nil {
+			return
+		}
+	}
+	tw.Close() //nolint:errcheck // client gone; nothing to do
 }
 
 // updateRequest is the body of POST /update.
@@ -394,6 +593,9 @@ func handleUpdate(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 		err = eng.Enqueue(ups...)
 	}
 	if err != nil {
+		if refuseWrite(w, err) {
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}

@@ -1,0 +1,314 @@
+package httpapi_test
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/engine"
+	"kcore/internal/httpapi"
+	"kcore/internal/serve"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+	"kcore/internal/wal"
+)
+
+// stubReadOnly wraps a real serving session but refuses writes with a
+// configurable error — the shapes the write-refusal table needs
+// (replication follower, degraded durable graph) without standing up
+// real replication or injecting real damage.
+type stubReadOnly struct {
+	sess     *serve.ConcurrentSession
+	g        *kcore.Graph
+	writeErr error
+	degraded bool
+}
+
+func newStubReadOnly(t *testing.T, writeErr error, degraded bool) *stubReadOnly {
+	t.Helper()
+	g, err := kcore.Open(writeGraph(t, 80, 9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := serve.New(g, nil)
+	if err != nil {
+		g.Close()
+		t.Fatal(err)
+	}
+	return &stubReadOnly{sess: sess, g: g, writeErr: writeErr, degraded: degraded}
+}
+
+func (s *stubReadOnly) Snapshot() *serve.Epoch              { return s.sess.Snapshot() }
+func (s *stubReadOnly) Enqueue(ups ...serve.Update) error   { return s.writeErr }
+func (s *stubReadOnly) Apply(ups ...serve.Update) error     { return s.writeErr }
+func (s *stubReadOnly) Sync() error                         { return s.sess.Sync() }
+func (s *stubReadOnly) Counters() *stats.ServeCounters      { return s.sess.Counters() }
+func (s *stubReadOnly) Stats() stats.ServeSnapshot          { return s.sess.Stats() }
+func (s *stubReadOnly) IOStats() kcore.IOStats              { return s.sess.IOStats() }
+func (s *stubReadOnly) Checkpoint() error                   { return s.writeErr }
+func (s *stubReadOnly) Rebalance() (shard.RebalanceReport, error) {
+	return shard.RebalanceReport{}, s.writeErr
+}
+func (s *stubReadOnly) DurabilityStats() stats.WalSnapshot {
+	return stats.WalSnapshot{Degraded: s.degraded}
+}
+func (s *stubReadOnly) ReplicaStats() stats.ReplicaSnapshot { return stats.ReplicaSnapshot{} }
+func (s *stubReadOnly) Close() error {
+	err := s.sess.Close()
+	if cerr := s.g.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// newDurableAPI builds a registry in data-dir mode with one durable
+// default graph.
+func newDurableAPI(t *testing.T, feedRecords int) (*httptest.Server, *engine.Registry, engine.Engine) {
+	t.Helper()
+	reg := engine.NewRegistry(&engine.Options{
+		Serve: serve.Options{FlushInterval: time.Millisecond},
+		Durability: &engine.DurabilityOptions{
+			Dir:         t.TempDir(),
+			FeedRecords: feedRecords,
+		},
+	})
+	t.Cleanup(func() { reg.Close() })
+	eng, err := reg.Open("default", writeGraph(t, 120, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(reg, "default"))
+	t.Cleanup(ts.Close)
+	return ts, reg, eng
+}
+
+// TestWriteRefusalSemantics pins the consistent 4xx surface for graphs
+// that cannot accept writes: replication followers and degraded
+// durable graphs answer 409 with {"error":..., "read_only": true} on
+// every mutating route.
+func TestWriteRefusalSemantics(t *testing.T) {
+	followerErr := fmt.Errorf("replica: refusing local write: %w", engine.ErrReadOnly)
+	cases := []struct {
+		name     string
+		writeErr error
+		degraded bool
+		method   string
+		path     string
+		body     string
+	}{
+		{"follower update", followerErr, false, "POST", "/g/%s/update", `{"updates":[{"op":"insert","u":1,"v":2}]}`},
+		{"follower update wait", followerErr, false, "POST", "/g/%s/update?wait=1", `{"updates":[{"op":"delete","u":1,"v":2}]}`},
+		{"degraded update", engine.ErrDegraded, true, "POST", "/g/%s/update", `{"updates":[{"op":"insert","u":1,"v":2}]}`},
+		{"degraded checkpoint", engine.ErrDegraded, true, "POST", "/g/%s/checkpoint", ""},
+		{"degraded rebalance", engine.ErrDegraded, true, "POST", "/g/%s/rebalance", ""},
+	}
+	ts, reg := newAPI(t)
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			name := fmt.Sprintf("ro%d", i)
+			if err := reg.Register(name, newStubReadOnly(t, tc.writeErr, tc.degraded)); err != nil {
+				t.Fatal(err)
+			}
+			var resp struct {
+				Error    string `json:"error"`
+				ReadOnly bool   `json:"read_only"`
+			}
+			do(t, tc.method, ts.URL+fmt.Sprintf(tc.path, name), tc.body, http.StatusConflict, &resp)
+			if resp.Error == "" || !resp.ReadOnly {
+				t.Fatalf("409 body must carry error and read_only: %+v", resp)
+			}
+			// Reads on the same graph still work.
+			do(t, "GET", ts.URL+fmt.Sprintf("/g/%s/degeneracy", name), "", http.StatusOK, nil)
+		})
+	}
+}
+
+// TestChangesRouteStatusCodes pins the non-streaming answers of the
+// change-stream route: 400 without a change feed, 410 with the oldest
+// servable cursor once retention trimmed past the requested one, and
+// 400 on a malformed cursor.
+func TestChangesRouteStatusCodes(t *testing.T) {
+	t.Run("not durable", func(t *testing.T) {
+		ts, _ := newAPI(t)
+		do(t, "GET", ts.URL+"/g/default/changes", "", http.StatusBadRequest, nil)
+	})
+	t.Run("bad cursor", func(t *testing.T) {
+		ts, _, _ := newDurableAPI(t, 0)
+		do(t, "GET", ts.URL+"/g/default/changes?from=banana", "", http.StatusBadRequest, nil)
+	})
+	t.Run("trimmed cursor answers 410 with oldest", func(t *testing.T) {
+		ts, _, eng := newDurableAPI(t, 4)
+		driveRecords(t, eng, 12)
+		var resp struct {
+			Error     string `json:"error"`
+			OldestLSN uint64 `json:"oldest_lsn"`
+		}
+		do(t, "GET", ts.URL+"/g/default/changes?from=0", "", http.StatusGone, &resp)
+		if resp.OldestLSN == 0 || resp.Error == "" {
+			t.Fatalf("410 body must carry the oldest servable cursor: %+v", resp)
+		}
+	})
+}
+
+// driveRecords applies toggling delete/insert pairs until at least k
+// change-feed records exist, returning the resulting LSN. Each pair
+// touches a distinct edge, so at least one of the two applies whether
+// or not the fixture already held it.
+func driveRecords(t *testing.T, eng engine.Engine, k uint64) uint64 {
+	t.Helper()
+	cs, ok := engine.AsChangeStreamer(eng)
+	if !ok {
+		t.Fatal("engine has no change stream")
+	}
+	u := uint32(0)
+	for cs.CurrentLSN() < k {
+		if err := eng.Apply(serve.Update{Op: serve.OpDelete, U: u, V: u + 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Apply(serve.Update{Op: serve.OpInsert, U: u, V: u + 1}); err != nil {
+			t.Fatal(err)
+		}
+		u += 2
+	}
+	return cs.CurrentLSN()
+}
+
+// TestChangesStreamsAppliedRecords reads real frames off the wire: the
+// records streamed for a cursor are exactly the applied batches after
+// it, in LSN order, heartbeats interleaving when idle.
+func TestChangesStreamsAppliedRecords(t *testing.T) {
+	ts, _, eng := newDurableAPI(t, 0)
+	last := driveRecords(t, eng, 5)
+	resp, err := http.Get(ts.URL + "/g/default/changes?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("content type %q", got)
+	}
+	if resp.Header.Get("X-Kcore-Epoch") == "" || resp.Header.Get("X-Kcore-LSN") == "" {
+		t.Fatal("stream response must carry epoch and LSN headers")
+	}
+	fr := wal.NewFrameReader(resp.Body)
+	next := uint64(1)
+	for next <= last {
+		frame, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("reading frame %d: %v", next, err)
+		}
+		if frame.Heartbeat {
+			continue
+		}
+		if frame.LSN != next {
+			t.Fatalf("record LSN %d, want %d", frame.LSN, next)
+		}
+		if len(frame.Deletes)+len(frame.Inserts) == 0 {
+			t.Fatalf("record %d carries no edges", frame.LSN)
+		}
+		next++
+	}
+}
+
+// TestCheckpointDownloadTar pins the bootstrap download: a tar whose
+// entries are exactly the canonical bundle names, with a manifest that
+// parses and matches the X-Kcore-Ckpt headers.
+func TestCheckpointDownloadTar(t *testing.T) {
+	ts, _, _ := newDurableAPI(t, 0)
+	resp, err := http.Get(ts.URL + "/g/default/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-tar" {
+		t.Fatalf("content type %q", got)
+	}
+	if resp.Header.Get("X-Kcore-Ckpt-LSN") == "" || resp.Header.Get("X-Kcore-Ckpt-Seq") == "" {
+		t.Fatal("checkpoint download must carry LSN and Seq headers")
+	}
+	allowed := make(map[string]bool)
+	for _, name := range wal.CheckpointBundleNames() {
+		allowed[name] = true
+	}
+	var sawManifest bool
+	tr := tar.NewReader(resp.Body)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !allowed[hdr.Name] {
+			t.Fatalf("unexpected tar entry %q", hdr.Name)
+		}
+		if hdr.Name == "MANIFEST" {
+			sawManifest = true
+			data, err := io.ReadAll(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wal.ParseCheckpointManifest(data); err != nil {
+				t.Fatalf("downloaded manifest does not parse: %v", err)
+			}
+		}
+	}
+	if !sawManifest {
+		t.Fatal("download carried no MANIFEST")
+	}
+	// The non-durable default graph has nothing to download.
+	ts2, _ := newAPI(t)
+	do(t, "GET", ts2.URL+"/g/default/checkpoint", "", http.StatusBadRequest, nil)
+}
+
+// TestEpochHeaderOnReads asserts every graph read response is tagged
+// with the epoch it was served from.
+func TestEpochHeaderOnReads(t *testing.T) {
+	ts, _ := newAPI(t)
+	for _, path := range []string{
+		"/g/default/core?v=3",
+		"/g/default/kcore?k=1",
+		"/g/default/degeneracy",
+		"/g/default/stats",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // headers are the assertion
+		resp.Body.Close()
+		if resp.Header.Get("X-Kcore-Epoch") == "" {
+			t.Fatalf("%s response missing X-Kcore-Epoch", path)
+		}
+	}
+	// GET /graphs surfaces the follower role for ReplicaStatser engines.
+	reg2 := engine.NewRegistry(nil)
+	t.Cleanup(func() { reg2.Close() })
+	if err := reg2.Register("f", newStubReadOnly(t, engine.ErrReadOnly, false)); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(httpapi.New(reg2, "f"))
+	t.Cleanup(ts2.Close)
+	var listing struct {
+		Graphs []struct {
+			Name string `json:"name"`
+			Role string `json:"role"`
+		} `json:"graphs"`
+	}
+	do(t, "GET", ts2.URL+"/graphs", "", http.StatusOK, &listing)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Role != "follower" {
+		t.Fatalf("GET /graphs must report the follower role: %+v", listing.Graphs)
+	}
+}

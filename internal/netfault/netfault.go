@@ -1,0 +1,230 @@
+// Package netfault is a fault-injecting TCP proxy for replication
+// tests: it forwards a connection to a target address and, after a
+// configured number of leader→follower bytes, drops, stalls, truncates
+// or duplicates the stream. Faults hit at byte granularity — the
+// interesting cases land mid-frame — so the harness can prove a
+// follower recovers from torn frames, duplicated bytes and silent
+// stalls without ever serving a torn epoch.
+package netfault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action selects what a Fault does when it triggers.
+type Action int
+
+const (
+	// None forwards the whole stream unharmed.
+	None Action = iota
+	// Drop aborts both directions of the connection at the trigger point.
+	Drop
+	// Stall pauses the leader→follower direction for Fault.Stall, then
+	// resumes forwarding (a silent hang, not a close).
+	Stall
+	// Truncate delivers exactly AfterBytes and then closes — the
+	// follower sees a stream cut mid-frame.
+	Truncate
+	// Duplicate re-sends the last DupBytes already forwarded, then
+	// resumes — the follower sees garbage at a frame boundary.
+	Duplicate
+)
+
+// Fault is one connection's fault plan.
+type Fault struct {
+	// AfterBytes is the leader→follower byte count forwarded before the
+	// fault triggers; negative never triggers.
+	AfterBytes int64
+	// Action is what happens at the trigger point.
+	Action Action
+	// Stall is the pause duration for Action == Stall.
+	Stall time.Duration
+	// DupBytes is how many tail bytes Action == Duplicate re-sends
+	// (capped to what has been forwarded); 0 selects 64.
+	DupBytes int
+}
+
+// Proxy is a listening fault injector in front of one target address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plan   func(conn int) Fault
+	conns  atomic.Int64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	alive map[net.Conn]struct{}
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+// plan decides the fault for the n-th accepted connection (0-based);
+// nil forwards everything unharmed.
+func New(target string, plan func(conn int) Fault) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, plan: plan, alive: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr reports the proxy's listening address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns reports how many connections have been accepted.
+func (p *Proxy) Conns() int64 { return p.conns.Load() }
+
+// SeverAll closes every live proxied connection (both directions) while
+// keeping the listener up — the "network blip" primitive: established
+// streams die, new connections still go through the plan.
+func (p *Proxy) SeverAll() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.alive))
+	for c := range p.alive {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // teardown
+	}
+}
+
+// Close stops accepting and severs every live connection.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.alive {
+		c.Close() //nolint:errcheck // teardown
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.alive[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.alive, c)
+	p.mu.Unlock()
+	c.Close() //nolint:errcheck // idempotent teardown
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.conns.Add(1) - 1
+		var fault Fault
+		if p.plan != nil {
+			fault = p.plan(int(n))
+		}
+		p.wg.Add(1)
+		go p.handle(client, fault)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, fault Fault) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close() //nolint:errcheck // nothing to proxy
+		return
+	}
+	p.track(client)
+	p.track(server)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // follower → leader: always clean
+		defer wg.Done()
+		io.Copy(server, client) //nolint:errcheck // conn teardown follows
+		p.untrack(server)
+		p.untrack(client)
+	}()
+	go func() { // leader → follower: faulted
+		defer wg.Done()
+		p.pump(client, server, fault)
+		p.untrack(client)
+		p.untrack(server)
+	}()
+	wg.Wait()
+}
+
+// pump forwards server→client applying the fault plan.
+func (p *Proxy) pump(client, server net.Conn, fault Fault) {
+	if fault.Action == None || fault.AfterBytes < 0 {
+		io.Copy(client, server) //nolint:errcheck // conn teardown follows
+		return
+	}
+	dup := fault.DupBytes
+	if dup <= 0 {
+		dup = 64
+	}
+	tail := make([]byte, 0, dup)
+	// Forward exactly AfterBytes, keeping the tail for Duplicate.
+	if fault.AfterBytes > 0 {
+		n, err := copyTail(client, io.LimitReader(server, fault.AfterBytes), &tail, dup)
+		if err != nil || n < fault.AfterBytes {
+			return // stream ended before the trigger point
+		}
+	}
+	switch fault.Action {
+	case Drop, Truncate:
+		// Both sever at the trigger; Truncate's contract is that the
+		// already-forwarded bytes were delivered, which TCP guarantees
+		// once Write returned.
+		return
+	case Stall:
+		deadline := time.Now().Add(fault.Stall)
+		for time.Now().Before(deadline) && !p.closed.Load() {
+			time.Sleep(10 * time.Millisecond)
+		}
+	case Duplicate:
+		if len(tail) > 0 {
+			if _, err := client.Write(tail); err != nil {
+				return
+			}
+		}
+	}
+	io.Copy(client, server) //nolint:errcheck // conn teardown follows
+}
+
+// copyTail copies r to w retaining the last max bytes written in *tail.
+func copyTail(w io.Writer, r io.Reader, tail *[]byte, max int) (int64, error) {
+	buf := make([]byte, 32<<10)
+	var total int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+			*tail = append(*tail, buf[:n]...)
+			if over := len(*tail) - max; over > 0 {
+				*tail = append((*tail)[:0], (*tail)[over:]...)
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return total, nil
+			}
+			return total, rerr
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package netfault_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"kcore/internal/netfault"
+)
+
+// echoServer accepts connections and writes payload to each, then
+// closes. Returns its address.
+func byteServer(t *testing.T, payload []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload) //nolint:errcheck // test peer may vanish
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func readAll(t *testing.T, addr string) []byte {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test conn
+	data, _ := io.ReadAll(c)
+	return data
+}
+
+func TestTruncateDeliversExactlyN(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 100)
+	p, err := netfault.New(byteServer(t, payload), func(conn int) netfault.Fault {
+		return netfault.Fault{Action: netfault.Truncate, AfterBytes: 123}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got := readAll(t, p.Addr())
+	if !bytes.Equal(got, payload[:123]) {
+		t.Fatalf("truncate delivered %d bytes, want exactly 123 matching the prefix", len(got))
+	}
+}
+
+func TestDuplicateResendsTail(t *testing.T) {
+	payload := bytes.Repeat([]byte("01234567"), 50)
+	p, err := netfault.New(byteServer(t, payload), func(conn int) netfault.Fault {
+		return netfault.Fault{Action: netfault.Duplicate, AfterBytes: 100, DupBytes: 10}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got := readAll(t, p.Addr())
+	want := append(append(append([]byte(nil), payload[:100]...), payload[90:100]...), payload[100:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("duplicate stream mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	payload := []byte("hello, replication")
+	p, err := netfault.New(byteServer(t, payload), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := readAll(t, p.Addr()); !bytes.Equal(got, payload) {
+		t.Fatalf("clean proxy corrupted the stream: %q", got)
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("want 1 accepted connection, got %d", p.Conns())
+	}
+}

@@ -1,0 +1,202 @@
+package replica_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"kcore/internal/engine"
+	"kcore/internal/httpapi"
+	"kcore/internal/replica"
+	"kcore/internal/serve"
+	"kcore/internal/stats"
+	"kcore/internal/testutil"
+)
+
+const (
+	replBenchNodes = 200
+	replBenchSeed  = 77
+)
+
+// startBenchLeader builds the standard durable leader fixture over any
+// testing.TB, so the same setup serves benchmarks and the JSON emitter.
+func startBenchLeader(tb testing.TB, seed int64) (*httptest.Server, engine.Engine, *testutil.MutationStream, engine.ChangeStreamer) {
+	tb.Helper()
+	base, edges := testutil.WriteSocial(tb, replBenchNodes, seed)
+	reg := engine.NewRegistry(&engine.Options{
+		Serve:      serve.Options{FlushInterval: time.Millisecond},
+		Durability: &engine.DurabilityOptions{Dir: tb.TempDir()},
+	})
+	tb.Cleanup(func() { reg.Close() })
+	eng, err := reg.Open("default", base)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.New(reg, "default"))
+	tb.Cleanup(srv.Close)
+	cs, ok := engine.AsChangeStreamer(eng)
+	if !ok {
+		tb.Fatal("durable engine does not expose a change stream")
+	}
+	return srv, eng, testutil.NewMutationStream(replBenchNodes, seed+1, edges), cs
+}
+
+// applyValid applies one guaranteed-valid mutation on the leader,
+// allocating exactly one LSN.
+func applyValid(tb testing.TB, eng engine.Engine, ms *testutil.MutationStream) {
+	tb.Helper()
+	mut := ms.NextValid()
+	op := serve.OpInsert
+	if mut.Op == testutil.OpDelete {
+		op = serve.OpDelete
+	}
+	if err := eng.Apply(serve.Update{Op: op, U: mut.U, V: mut.V}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// waitApplied blocks until the follower's cursor reaches lsn.
+func waitApplied(tb testing.TB, f *replica.Follower, lsn uint64) {
+	tb.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for f.ReplicaStats().AppliedLSN < lsn {
+		if time.Now().After(deadline) {
+			tb.Fatalf("follower stuck at %d, want %d", f.ReplicaStats().AppliedLSN, lsn)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkReplicationApplyLag measures the replication round trip: one
+// valid leader mutation (Apply waits for leader publication) until the
+// follower's epoch covering it is visible to its readers. ns/op is the
+// full apply-to-replica-visible latency; replica_lag_ns isolates the
+// follower-side share (stream decode to epoch publish).
+func BenchmarkReplicationApplyLag(b *testing.B) {
+	srv, eng, ms, cs := startBenchLeader(b, replBenchSeed)
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:   srv.URL,
+		Serve:    serve.Options{FlushInterval: time.Millisecond},
+		Counters: ctr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // bench teardown
+	waitApplied(b, f, cs.CurrentLSN())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		applyValid(b, eng, ms)
+		waitApplied(b, f, cs.CurrentLSN())
+	}
+	b.StopTimer()
+	b.ReportMetric(ctr.MeanLagNs(), "replica_lag_ns")
+}
+
+// BenchmarkReplicationCatchUp measures cold-follower convergence: each
+// iteration boots a fresh follower against a leader holding a 256-record
+// backlog (checkpoint bootstrap + stream tail) and waits until it is
+// fully converged.
+func BenchmarkReplicationCatchUp(b *testing.B) {
+	srv, eng, ms, cs := startBenchLeader(b, replBenchSeed+1)
+	const backlog = 256
+	for i := 0; i < backlog; i++ {
+		applyValid(b, eng, ms)
+	}
+	target := cs.CurrentLSN()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := replica.New(replica.Options{
+			Leader: srv.URL,
+			Serve:  serve.Options{FlushInterval: time.Millisecond},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitApplied(b, f, target)
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(backlog*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// TestEmitReplicationBenchJSON runs the replication benchmarks and
+// merges a `replication_lag` entry into the artifact named by
+// KCORE_BENCH_JSON (BENCH_serve.json via `make bench-replication`),
+// leaving the rest of the document untouched.
+func TestEmitReplicationBenchJSON(t *testing.T) {
+	path := os.Getenv("KCORE_BENCH_JSON")
+	if path == "" {
+		t.Skip("set KCORE_BENCH_JSON=<path> to emit the replication lag figures")
+	}
+	type entry struct {
+		Name      string             `json:"name"`
+		N         int                `json:"n"`
+		NsPerOp   float64            `json:"ns_per_op"`
+		OpsPerSec float64            `json:"ops_per_sec"`
+		Extra     map[string]float64 `json:"extra,omitempty"`
+	}
+	record := func(name string, fn func(b *testing.B)) entry {
+		res := testing.Benchmark(fn)
+		e := entry{Name: name, N: res.N, NsPerOp: float64(res.NsPerOp())}
+		if res.T > 0 {
+			e.OpsPerSec = float64(res.N) / res.T.Seconds()
+		}
+		if len(res.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				e.Extra[k] = v
+			}
+		}
+		t.Logf("%s: %.0f ns/op (n=%d, extra %v)", name, e.NsPerOp, e.N, e.Extra)
+		return e
+	}
+	lag := record("ReplicationApplyLag", BenchmarkReplicationApplyLag)
+	catchup := record("ReplicationCatchUp", BenchmarkReplicationCatchUp)
+	summary := map[string]any{
+		"fixture":                 "social valid-mutation stream",
+		"graph_nodes":             replBenchNodes,
+		"apply_to_visible_ns":     lag.NsPerOp,
+		"applies_per_sec":         lag.OpsPerSec,
+		"replica_lag_ns":          lag.Extra["replica_lag_ns"],
+		"catchup_records_per_sec": catchup.Extra["records/s"],
+		"catchup_backlog_records": 256,
+	}
+
+	// Merge into the existing serve artifact rather than clobbering it.
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", path, err)
+		}
+	}
+	doc["replication_lag"] = summary
+	results, _ := doc["results"].([]any)
+	kept := results[:0]
+	for _, r := range results {
+		if m, ok := r.(map[string]any); ok {
+			if name, _ := m["name"].(string); strings.HasPrefix(name, "Replication") {
+				continue // replace stale entries from an earlier run
+			}
+		}
+		kept = append(kept, r)
+	}
+	for _, e := range []entry{lag, catchup} {
+		kept = append(kept, e)
+	}
+	doc["results"] = kept
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged replication_lag into %s", path)
+}

@@ -1,0 +1,422 @@
+package replica_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kcore/internal/engine"
+	"kcore/internal/httpapi"
+	"kcore/internal/netfault"
+	"kcore/internal/replica"
+	"kcore/internal/serve"
+	"kcore/internal/stats"
+	"kcore/internal/testutil"
+)
+
+// The replication conformance suite: a real leader (durable registry +
+// HTTP API) drives the standard mixed valid/invalid mutation workload
+// while a follower tails its change stream, and the harness asserts the
+// replication contract:
+//
+//   - at every LSN the follower acknowledges (publishes an epoch for),
+//     its core numbers are bit-identical to the leader's at that same
+//     LSN — never a torn or reordered state;
+//   - the follower converges to the leader's final LSN;
+//   - under injected network faults (drops, stalls, mid-frame
+//     truncation, duplicated bytes) it resumes exactly-once from its
+//     cursor, or falls back to checkpoint catch-up when the cursor left
+//     the leader's retained feed window.
+//
+// Every test is seeded and replayable with -seed.
+
+// leaderHarness is one running leader: durable registry, engine, HTTP
+// server, and the per-LSN core-number history the follower is judged
+// against.
+type leaderHarness struct {
+	t     *testing.T
+	reg   *engine.Registry
+	eng   engine.Engine
+	srv   *httptest.Server
+	cs    engine.ChangeStreamer
+	ms    *testutil.MutationStream
+	cores map[uint64][]uint32 // leader core numbers at each LSN
+}
+
+func startLeader(t *testing.T, seed int64, shards, feedRecords int) *leaderHarness {
+	t.Helper()
+	const n = 200
+	base, edges := testutil.WriteSocial(t, n, seed)
+	reg := engine.NewRegistry(&engine.Options{
+		Serve: serve.Options{FlushInterval: time.Millisecond},
+		Durability: &engine.DurabilityOptions{
+			Dir:         t.TempDir(),
+			FeedRecords: feedRecords,
+		},
+	})
+	t.Cleanup(func() { reg.Close() })
+	eng, err := reg.OpenSharded("default", base, shards, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.New(reg, "default"))
+	t.Cleanup(srv.Close)
+	cs, ok := engine.AsChangeStreamer(eng)
+	if !ok {
+		t.Fatal("durable engine does not expose a change stream")
+	}
+	h := &leaderHarness{
+		t: t, reg: reg, eng: eng, srv: srv, cs: cs,
+		ms:    testutil.NewMutationStream(n, seed+1, edges),
+		cores: make(map[uint64][]uint32),
+	}
+	h.record()
+	return h
+}
+
+// record captures the leader's core numbers at its current LSN. Called
+// after every Apply, so the history covers every LSN the feed can emit.
+func (h *leaderHarness) record() {
+	h.cores[h.cs.CurrentLSN()] = slices.Clone(h.eng.Snapshot().Cores())
+}
+
+// step applies one workload mutation (waiting for publication) and
+// records the post-apply state. Valid mutations allocate exactly one
+// LSN; invalid ones are rejected and allocate none.
+func (h *leaderHarness) step() {
+	mut := h.ms.Next()
+	op := serve.OpInsert
+	if mut.Op == testutil.OpDelete {
+		op = serve.OpDelete
+	}
+	if err := h.eng.Apply(serve.Update{Op: op, U: mut.U, V: mut.V}); err != nil {
+		h.t.Fatalf("leader apply: %v", err)
+	}
+	h.record()
+}
+
+// ackLog collects the follower's per-LSN published core numbers.
+type ackLog struct {
+	mu   sync.Mutex
+	acks []ack
+}
+
+type ack struct {
+	lsn   uint64
+	cores []uint32
+}
+
+func (l *ackLog) hook(lsn uint64, ep *serve.Epoch) {
+	l.mu.Lock()
+	l.acks = append(l.acks, ack{lsn: lsn, cores: slices.Clone(ep.Cores())})
+	l.mu.Unlock()
+}
+
+func (l *ackLog) snapshot() []ack {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return slices.Clone(l.acks)
+}
+
+// oneConnPerRequest builds an HTTP client without keepalive reuse, so a
+// fault plan keyed on connection index sees one connection per request
+// (bootstrap = conn 0, first stream = conn 1, ...).
+func oneConnPerRequest() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+// waitConverged polls until the follower's cursor reaches lsn.
+func waitConverged(t *testing.T, ctr *stats.ReplicaCounters, lsn uint64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if ctr.AppliedLSN() >= lsn {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at LSN %d, want %d within %v", ctr.AppliedLSN(), lsn, within)
+}
+
+// verify asserts the conformance contract against the leader history:
+// every acknowledged LSN has bit-identical cores, acks are strictly
+// LSN-increasing, and the follower's final state equals the leader's.
+func (h *leaderHarness) verify(f *replica.Follower, log *ackLog) {
+	h.t.Helper()
+	if err := f.Sync(); err != nil {
+		h.t.Fatalf("follower sync: %v", err)
+	}
+	acks := log.snapshot()
+	if len(acks) == 0 {
+		h.t.Fatal("follower acknowledged no stream records")
+	}
+	prev := uint64(0)
+	for _, a := range acks {
+		if a.lsn <= prev {
+			h.t.Fatalf("acks not strictly increasing: %d after %d", a.lsn, prev)
+		}
+		prev = a.lsn
+		want, ok := h.cores[a.lsn]
+		if !ok {
+			h.t.Fatalf("follower acked LSN %d the leader never recorded", a.lsn)
+		}
+		if !slices.Equal(a.cores, want) {
+			h.t.Fatalf("cores diverge at LSN %d", a.lsn)
+		}
+	}
+	if got, want := f.Snapshot().Cores(), h.eng.Snapshot().Cores(); !slices.Equal(got, want) {
+		h.t.Fatal("final follower cores differ from leader")
+	}
+}
+
+func TestConformanceSingleWriter(t *testing.T) {
+	seed := testutil.Seed(t, 901)
+	h := startLeader(t, seed, 1, 0)
+	log := &ackLog{}
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:    h.srv.URL,
+		Counters:  ctr,
+		OnApplied: log.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 120; i++ {
+		h.step()
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 10*time.Second)
+	h.verify(f, log)
+	if rs := f.ReplicaStats(); rs.Records == 0 || rs.Bootstraps != 1 {
+		t.Fatalf("unexpected stream stats: %+v", rs)
+	}
+}
+
+func TestConformanceShardedWithRebalance(t *testing.T) {
+	seed := testutil.Seed(t, 902)
+	h := startLeader(t, seed, 3, 0)
+	log := &ackLog{}
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:    h.srv.URL,
+		Counters:  ctr,
+		OnApplied: log.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rb, ok := engine.AsRebalancer(h.eng)
+	if !ok {
+		t.Fatal("sharded engine does not expose Rebalance")
+	}
+	for i := 0; i < 120; i++ {
+		h.step()
+		if i == 60 {
+			// Mid-stream repartition: migration traffic nets to zero on
+			// the union graph, so the feed must carry no record of it and
+			// the follower must stay bit-identical across it.
+			if _, err := rb.Rebalance(); err != nil {
+				t.Fatalf("rebalance: %v", err)
+			}
+			h.record()
+		}
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 10*time.Second)
+	h.verify(f, log)
+}
+
+// TestConformanceNetworkFaults runs the workload through a fault proxy
+// that drops, truncates and corrupts-by-duplication the stream at
+// seeded byte offsets. The follower must reconnect from its cursor and
+// still be bit-identical at every acknowledged LSN.
+func TestConformanceNetworkFaults(t *testing.T) {
+	seed := testutil.Seed(t, 903)
+	h := startLeader(t, seed, 1, 0)
+	rnd := h.ms.Rand()
+	actions := []netfault.Action{netfault.Drop, netfault.Truncate, netfault.Duplicate, netfault.Drop, netfault.Truncate, netfault.Duplicate}
+	offsets := make([]int64, len(actions))
+	for i := range offsets {
+		offsets[i] = int64(1 + rnd.Intn(4000))
+	}
+	proxy, err := netfault.New(h.srv.Listener.Addr().String(), func(conn int) netfault.Fault {
+		// Connection 0 carries the bootstrap download — leave it clean so
+		// the follower comes up; fault the next len(actions) connections.
+		if conn == 0 || conn > len(actions) {
+			return netfault.Fault{}
+		}
+		return netfault.Fault{
+			Action:     actions[conn-1],
+			AfterBytes: offsets[conn-1],
+			DupBytes:   16,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	log := &ackLog{}
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:       "http://" + proxy.Addr(),
+		Counters:     ctr,
+		OnApplied:    log.hook,
+		ReconnectMin: 5 * time.Millisecond,
+		Client:       oneConnPerRequest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 150; i++ {
+		h.step()
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 20*time.Second)
+	h.verify(f, log)
+	if ctr.Reconnects() == 0 {
+		t.Fatal("fault plan injected no reconnects — the proxy never triggered")
+	}
+}
+
+// TestConformanceStall proves heartbeat-silence detection: the proxy
+// freezes the stream longer than the follower's heartbeat timeout, and
+// the follower must declare the connection dead, reconnect, and
+// converge.
+func TestConformanceStall(t *testing.T) {
+	seed := testutil.Seed(t, 904)
+	h := startLeader(t, seed, 1, 0)
+	proxy, err := netfault.New(h.srv.Listener.Addr().String(), func(conn int) netfault.Fault {
+		if conn == 1 {
+			return netfault.Fault{Action: netfault.Stall, AfterBytes: 64, Stall: 10 * time.Second}
+		}
+		return netfault.Fault{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	log := &ackLog{}
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:           "http://" + proxy.Addr(),
+		Counters:         ctr,
+		OnApplied:        log.hook,
+		ReconnectMin:     5 * time.Millisecond,
+		HeartbeatTimeout: time.Second,
+		Client:           oneConnPerRequest(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 60; i++ {
+		h.step()
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 20*time.Second)
+	h.verify(f, log)
+	if ctr.Reconnects() == 0 {
+		t.Fatal("stalled stream was never declared dead")
+	}
+}
+
+// TestCheckpointCatchUp proves the 410 fallback: the follower is cut
+// off while the leader writes far past its tiny feed window, so on
+// reconnect the cursor is unservable and the follower must download a
+// fresh checkpoint, then converge from there.
+func TestCheckpointCatchUp(t *testing.T) {
+	seed := testutil.Seed(t, 905)
+	h := startLeader(t, seed, 1, 8)
+	var refuse atomic.Bool
+	proxy, err := netfault.New(h.srv.Listener.Addr().String(), func(conn int) netfault.Fault {
+		if refuse.Load() {
+			return netfault.Fault{Action: netfault.Drop, AfterBytes: 0}
+		}
+		return netfault.Fault{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	log := &ackLog{}
+	ctr := new(stats.ReplicaCounters)
+	f, err := replica.New(replica.Options{
+		Leader:       "http://" + proxy.Addr(),
+		Counters:     ctr,
+		OnApplied:    log.hook,
+		ReconnectMin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 10; i++ {
+		h.step()
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 10*time.Second)
+
+	// Sever the follower (live stream dies, reconnects are refused),
+	// then write far past the 8-record window and commit a fresh
+	// checkpoint covering the new state.
+	refuse.Store(true)
+	proxy.SeverAll()
+	for i := 0; i < 60; i++ {
+		h.step()
+	}
+	cp, ok := engine.AsCheckpointer(h.eng)
+	if !ok {
+		t.Fatal("durable engine does not expose Checkpoint")
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	refuse.Store(false)
+
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 20*time.Second)
+	// The follower is streaming again after catch-up: a few more records
+	// must flow through the stream path (not another bootstrap).
+	for i := 0; i < 10; i++ {
+		h.step()
+	}
+	waitConverged(t, ctr, h.cs.CurrentLSN(), 10*time.Second)
+	h.verify(f, log)
+	if ctr.Bootstraps() < 2 {
+		t.Fatalf("expected a checkpoint catch-up after the window moved, got %d bootstraps", ctr.Bootstraps())
+	}
+	if rs := f.ReplicaStats(); rs.CatchupBytes == 0 {
+		t.Fatalf("catch-up accounted no bytes: %+v", rs)
+	}
+}
+
+// TestFollowerRefusesWrites pins the read-only contract of the engine
+// surface itself (the HTTP 409 mapping is tested in internal/httpapi).
+func TestFollowerRefusesWrites(t *testing.T) {
+	seed := testutil.Seed(t, 906)
+	h := startLeader(t, seed, 1, 0)
+	f, err := replica.New(replica.Options{Leader: h.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, try := range []error{
+		f.Enqueue(serve.Update{Op: serve.OpInsert, U: 1, V: 2}),
+		f.Apply(serve.Update{Op: serve.OpDelete, U: 1, V: 2}),
+	} {
+		if !errors.Is(try, engine.ErrReadOnly) {
+			t.Fatalf("want ErrReadOnly, got %v", try)
+		}
+	}
+}

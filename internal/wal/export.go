@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"kcore/internal/faultfs"
+)
+
+// This file is the exported checkpoint surface replication rides on: a
+// leader opens its newest committed checkpoint as a bundle of readable
+// files (served as a tar download), and a follower validates the
+// downloaded directory before serving from it.
+
+// CheckpointManifest is the exported view of a committed checkpoint's
+// manifest.
+type CheckpointManifest struct {
+	Seq      uint64
+	LSN      uint64
+	Nodes    uint32
+	Arcs     int64
+	HasCores bool
+}
+
+// ParseCheckpointManifest validates the manifest's CRC line and parses
+// its fields.
+func ParseCheckpointManifest(data []byte) (CheckpointManifest, error) {
+	m, err := parseManifest(data)
+	if err != nil {
+		return CheckpointManifest{}, err
+	}
+	return CheckpointManifest{Seq: m.Seq, LSN: m.LSN, Nodes: m.Nodes, Arcs: m.Arcs, HasCores: m.HasCores}, nil
+}
+
+// ManifestPath locates the manifest file inside a checkpoint directory.
+func ManifestPath(ckptDir string) string { return filepath.Join(ckptDir, manifestName) }
+
+// CheckpointGraphBase is the storage path prefix of the graph tables
+// inside a checkpoint directory.
+func CheckpointGraphBase(ckptDir string) string { return filepath.Join(ckptDir, ckptGraphBase) }
+
+// CheckpointFile is one open file of a checkpoint bundle.
+type CheckpointFile struct {
+	// Name is the file's base name inside the checkpoint directory
+	// (MANIFEST, graph.meta, graph.nt, graph.et, cores).
+	Name string
+	Size int64
+	f    faultfs.File
+}
+
+// Reader returns a fresh reader over the whole file.
+func (cf CheckpointFile) Reader() io.Reader { return io.NewSectionReader(cf.f, 0, cf.Size) }
+
+// CheckpointHandle is an open committed checkpoint: its parsed manifest
+// plus every file, already open. Because the files are opened while the
+// checkpoint is pinned against retention, the handle stays readable
+// even if a later checkpoint removes the directory.
+type CheckpointHandle struct {
+	Manifest CheckpointManifest
+	Files    []CheckpointFile
+}
+
+// Close releases every open file.
+func (h *CheckpointHandle) Close() error {
+	var firstErr error
+	for _, cf := range h.Files {
+		if err := cf.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// OpenNewestCheckpoint opens the newest committed checkpoint whose
+// manifest parses, holding open fds on all its files. The caller must
+// serialize this with checkpoint retention (the durable engine holds
+// its checkpoint mutex) so the chosen directory cannot vanish between
+// listing and opening; once open, removal no longer hurts the reader.
+func (g *GraphDir) OpenNewestCheckpoint() (*CheckpointHandle, error) {
+	cks, err := listCheckpoints(g.fs, g.dir)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, ck := range cks {
+		h, err := openCheckpoint(g.fs, ck.path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: checkpoint %d: %w", ck.seq, err)
+			}
+			continue
+		}
+		return h, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, ErrNoCheckpoint
+}
+
+func openCheckpoint(fs faultfs.FS, dir string) (*CheckpointHandle, error) {
+	data, err := fs.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	man, err := ParseCheckpointManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{manifestName, ckptGraphBase + ".meta", ckptGraphBase + ".nt", ckptGraphBase + ".et"}
+	if man.HasCores {
+		names = append(names, coresName)
+	}
+	h := &CheckpointHandle{Manifest: man}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		fi, err := fs.Stat(path)
+		if err != nil {
+			h.Close() //nolint:errcheck // stat error wins
+			return nil, err
+		}
+		f, err := fs.Open(path)
+		if err != nil {
+			h.Close() //nolint:errcheck // open error wins
+			return nil, err
+		}
+		h.Files = append(h.Files, CheckpointFile{Name: name, Size: fi.Size(), f: f})
+	}
+	return h, nil
+}
+
+// CheckpointBundleNames reports the file names a checkpoint download may
+// contain, in canonical order — the whitelist a follower extracts.
+func CheckpointBundleNames() []string {
+	return []string{manifestName, ckptGraphBase + ".meta", ckptGraphBase + ".nt", ckptGraphBase + ".et", coresName}
+}
+
+// ValidateCheckpointDir fully verifies a checkpoint directory a
+// follower downloaded: manifest CRC, graph table sizes and CRCs, and
+// the cores file when the manifest promises one. It returns the
+// manifest and the core numbers (nil when absent).
+func ValidateCheckpointDir(dir string) (CheckpointManifest, []uint32, error) {
+	m, err := validateCheckpoint(faultfs.OS, dir)
+	if err != nil {
+		return CheckpointManifest{}, nil, err
+	}
+	var cores []uint32
+	if m.HasCores {
+		cores, err = readCores(faultfs.OS, filepath.Join(dir, coresName))
+		if err != nil {
+			return CheckpointManifest{}, nil, err
+		}
+	}
+	man := CheckpointManifest{Seq: m.Seq, LSN: m.LSN, Nodes: m.Nodes, Arcs: m.Arcs, HasCores: m.HasCores}
+	return man, cores, nil
+}

@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"kcore/internal/memgraph"
+)
+
+// The change-stream wire format is the WAL frame format: every frame is
+// `u32 payloadLen | u32 crc32c(payload) | payload`, and the payload's
+// first byte selects the record type. Batch frames are exactly the
+// records the WAL stores (one applied net batch stamped with its LSN);
+// heartbeat frames exist only on the wire — the leader sends one when
+// the stream is idle so followers can observe its LSN (for lag) and
+// detect stalls.
+
+const (
+	// recTypeHeartbeat tags an on-wire liveness frame carrying the
+	// leader's current LSN and no edges. Heartbeats are never written to
+	// a log file.
+	recTypeHeartbeat = 2
+	// heartbeatPayload is the fixed payload size: u8 type + u64 lsn.
+	heartbeatPayload = 1 + 8
+	// MaxStreamPayload bounds a frame accepted off the wire. It is far
+	// above any real batch (a coalesced flush is at most a few thousand
+	// edges) but low enough that a corrupt length field cannot make a
+	// follower allocate gigabytes before the CRC check.
+	MaxStreamPayload = 1 << 27
+)
+
+// Frame is one decoded change-stream frame: either a batch record
+// (identical to a WAL Record) or a heartbeat carrying only the leader's
+// current LSN.
+type Frame struct {
+	LSN       uint64
+	Heartbeat bool
+	Deletes   []memgraph.Edge
+	Inserts   []memgraph.Edge
+}
+
+// AppendHeartbeat appends a framed heartbeat carrying lsn to buf and
+// returns the extended slice.
+func AppendHeartbeat(buf []byte, lsn uint64) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, recHeaderSize+heartbeatPayload)...)
+	p := buf[start+recHeaderSize:]
+	p[0] = recTypeHeartbeat
+	binary.LittleEndian.PutUint64(p[1:], lsn)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(heartbeatPayload))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// AppendFrame appends the framed encoding of f to buf: the batch record
+// encoding for batch frames, the heartbeat encoding otherwise.
+func AppendFrame(buf []byte, f Frame) []byte {
+	if f.Heartbeat {
+		return AppendHeartbeat(buf, f.LSN)
+	}
+	return AppendRecord(buf, f.LSN, f.Deletes, f.Inserts)
+}
+
+// parseFramePayload decodes a CRC-verified payload into a Frame.
+func parseFramePayload(p []byte) (Frame, error) {
+	var f Frame
+	switch p[0] {
+	case recTypeBatch:
+		if len(p) < 17 {
+			return f, fmt.Errorf("wal: batch payload too short (%d bytes)", len(p))
+		}
+		f.LSN = binary.LittleEndian.Uint64(p[1:])
+		nDel := int(binary.LittleEndian.Uint32(p[9:]))
+		nIns := int(binary.LittleEndian.Uint32(p[13:]))
+		if nDel < 0 || nIns < 0 || payloadSize(nDel, nIns) != len(p) {
+			return f, fmt.Errorf("wal: edge counts %d+%d disagree with payload length %d", nDel, nIns, len(p))
+		}
+		edges := make([]memgraph.Edge, nDel+nIns)
+		q := 17
+		for i := range edges {
+			edges[i] = memgraph.Edge{
+				U: binary.LittleEndian.Uint32(p[q:]),
+				V: binary.LittleEndian.Uint32(p[q+4:]),
+			}
+			q += 8
+		}
+		f.Deletes = edges[:nDel:nDel]
+		f.Inserts = edges[nDel:]
+		return f, nil
+	case recTypeHeartbeat:
+		if len(p) != heartbeatPayload {
+			return f, fmt.Errorf("wal: heartbeat payload length %d, want %d", len(p), heartbeatPayload)
+		}
+		f.Heartbeat = true
+		f.LSN = binary.LittleEndian.Uint64(p[1:])
+		return f, nil
+	default:
+		return f, fmt.Errorf("wal: unknown frame type %d", p[0])
+	}
+}
+
+// DecodeFrame parses one frame at data[off:], returning the frame and
+// the offset just past it. A clean end-of-data is reported as done;
+// truncated, oversized, or checksum-failing input is an error, never a
+// panic.
+func DecodeFrame(data []byte, off int) (f Frame, next int, done bool, err error) {
+	if off == len(data) {
+		return f, off, true, nil
+	}
+	if len(data)-off < recHeaderSize {
+		return f, off, false, fmt.Errorf("wal: truncated frame header at offset %d", off)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[off:]))
+	want := binary.LittleEndian.Uint32(data[off+4:])
+	if plen < 1 || plen > MaxStreamPayload {
+		return f, off, false, fmt.Errorf("wal: implausible payload length %d at offset %d", plen, off)
+	}
+	if len(data)-off-recHeaderSize < plen {
+		return f, off, false, fmt.Errorf("wal: truncated payload at offset %d (want %d bytes)", off, plen)
+	}
+	p := data[off+recHeaderSize : off+recHeaderSize+plen]
+	if got := crc32.Checksum(p, castagnoli); got != want {
+		return f, off, false, fmt.Errorf("wal: frame crc %08x, want %08x at offset %d", got, want, off)
+	}
+	f, err = parseFramePayload(p)
+	if err != nil {
+		return f, off, false, err
+	}
+	return f, off + recHeaderSize + plen, false, nil
+}
+
+// FrameReader incrementally decodes frames from a byte stream (an HTTP
+// response body on the follower). It validates the length bound before
+// allocating and the CRC before parsing, so corrupt or truncated input
+// always surfaces as an error — io.EOF exactly at a frame boundary,
+// io.ErrUnexpectedEOF mid-frame — and never a panic or garbage frame.
+type FrameReader struct {
+	r     *bufio.Reader
+	hdr   [recHeaderSize]byte
+	buf   []byte
+	bytes int64
+}
+
+// NewFrameReader wraps r for frame-at-a-time decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// BytesRead reports the total bytes consumed from the underlying stream
+// by completed and partial frames.
+func (fr *FrameReader) BytesRead() int64 { return fr.bytes }
+
+// ReadFrame decodes the next frame. It returns io.EOF when the stream
+// ends cleanly at a frame boundary.
+func (fr *FrameReader) ReadFrame() (Frame, error) {
+	var f Frame
+	n, err := io.ReadFull(fr.r, fr.hdr[:])
+	fr.bytes += int64(n)
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return f, fmt.Errorf("wal: truncated frame header: %w", io.ErrUnexpectedEOF)
+		}
+		return f, err // io.EOF at a clean boundary
+	}
+	plen := int(binary.LittleEndian.Uint32(fr.hdr[:]))
+	want := binary.LittleEndian.Uint32(fr.hdr[4:])
+	if plen < 1 || plen > MaxStreamPayload {
+		return f, fmt.Errorf("wal: implausible payload length %d", plen)
+	}
+	if cap(fr.buf) < plen {
+		fr.buf = make([]byte, plen)
+	}
+	p := fr.buf[:plen]
+	n, err = io.ReadFull(fr.r, p)
+	fr.bytes += int64(n)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return f, fmt.Errorf("wal: truncated payload (%d of %d bytes): %w", n, plen, io.ErrUnexpectedEOF)
+		}
+		return f, err
+	}
+	if got := crc32.Checksum(p, castagnoli); got != want {
+		return f, fmt.Errorf("wal: frame crc %08x, want %08x", got, want)
+	}
+	return parseFramePayload(p)
+}
