@@ -4,7 +4,7 @@
 # with cross-goroutine state accessed only via sync/atomic or channels.
 GO ?= go
 
-.PHONY: all test race vet doc bench bench-serve bench-wal bench-replication crash-sweep fuzz profile clean
+.PHONY: all test race vet doc bench bench-serve bench-wal bench-replication bench-disk crash-sweep fuzz profile clean
 
 all: test vet
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzComposeRepairMatchesFullPeel -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard
 	$(GO) test -fuzz=FuzzMaintenanceSequence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/maintain
 	$(GO) test -fuzz=FuzzChangeStreamDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/replica
+	$(GO) test -fuzz=FuzzDiskEngineAgreesWithMem -fuzztime=$(FUZZTIME) -run '^$$' ./internal/diskengine
 
 # Full serve benchmark grid — reader throughput, mixed workloads,
 # cached-vs-uncached memoized queries, and 1-vs-N-graph registry runs;
@@ -58,6 +59,13 @@ bench-wal:
 # GOMAXPROCS=4 like the rest of the baseline.
 bench-replication:
 	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json GOMAXPROCS=4 $(GO) test -run TestEmitReplicationBenchJSON -count=1 -v ./internal/replica
+
+# Disk backend: cold vs warm random-read latency through the block
+# cache (with measured hit rates), overlay merge throughput, and the
+# end-to-end disk-engine update flood; merges the disk_backend entry
+# into BENCH_serve.json without touching the serve grid.
+bench-disk:
+	KCORE_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestEmitDiskBenchJSON -count=1 -v ./internal/diskengine
 
 # The crash-point fault-injection suite: the exhaustive boundary sweep
 # plus a longer randomized torn-write run. CRASHSEED pins a failing seed

@@ -80,6 +80,8 @@ func main() {
 		queueCap  = flag.Int("queue", 4096, "ingest queue capacity (enqueue blocks when full)")
 		applyW    = flag.Int("apply-workers", 0, "region-parallel flush width per writer: >= 2 partitions each coalesced batch into component-disjoint regions applied by that many concurrent workers; 1 forces the sequential apply path; 0 picks automatically — sharded graphs (-shards >= 2) get min(GOMAXPROCS/(shards+1), 4) workers per writer, single-writer graphs stay sequential. The width multiplies across -shards: a sharded graph runs shards+1 writers, each applying with this many workers")
 		blockSize = flag.Int("block", 4096, "I/O accounting block size B")
+		backend   = flag.String("backend", "", "serving backend for every opened graph: mem (in-memory adjacency, the default), sharded (multi-core writers; or just set -shards >= 2), or disk (beyond-RAM: adjacency stays on disk in partition files behind a bounded block cache, only the core arrays and a small update overlay are resident)")
+		cacheBlks = flag.Int("cache-blocks", 0, "disk backend block-cache budget in blocks of -block bytes (0 picks the default); resident adjacency is capped at cache-blocks*block bytes however large the graph")
 		shards    = flag.Int("shards", 1, "writers per graph: >= 2 shards every opened graph across that many parallel writers (plus a cut session for cross-shard edges); 1 keeps the single-writer engine")
 		parter    = flag.String("partitioner", "hash", "node partitioner for sharded graphs: hash, range, or ldg (locality-aware streaming assignment; shrinks the cross-shard edge ratio on clustered graphs)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux (see `make profile`); leave off in production")
@@ -172,7 +174,12 @@ func main() {
 			}
 		}
 		fmt.Printf("kcored: decomposing %s (graph %q)\n", path, name)
-		if _, err := reg.OpenSharded(name, path, *shards, *parter); err != nil {
+		if _, err := reg.OpenBackend(name, path, engine.BackendConfig{
+			Backend:     *backend,
+			Shards:      *shards,
+			Partitioner: *parter,
+			CacheBlocks: *cacheBlks,
+		}); err != nil {
 			fatal(err)
 		}
 	}

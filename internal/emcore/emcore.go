@@ -250,18 +250,22 @@ func Decompose(src *storage.Graph, opts Options) (*Result, error) {
 }
 
 // buildPartitions streams the source graph into contiguous-range partition
-// files and fills the initial upper bounds (ub(v) = deg(v)).
+// files and fills the initial upper bounds (ub(v) = deg(v)). Range
+// boundaries come from the shared RangePlanner, so the baseline and the
+// serving disk backend agree on the partition layout for a given graph
+// and arc budget.
 func buildPartitions(src *storage.Graph, dir string, partArcs int64, ub []uint32, ctr *stats.IOCounter) ([]partition, error) {
 	var parts []partition
 	var w *storage.BlockWriter
 	var cur partition
 	var buf []byte
+	planner := NewRangePlanner(partArcs)
 
-	flush := func(hi uint32) error {
+	flush := func(r NodeRange) error {
 		if w == nil {
 			return nil
 		}
-		cur.hi = hi
+		cur.lo, cur.hi, cur.arcs = r.Lo, r.Hi, r.Arcs
 		if err := w.Close(); err != nil {
 			return err
 		}
@@ -273,7 +277,7 @@ func buildPartitions(src *storage.Graph, dir string, partArcs int64, ub []uint32
 	err := src.Scan(0, n-1, nil, func(v uint32, nbrs []uint32) error {
 		ub[v] = uint32(len(nbrs))
 		if w == nil {
-			cur = partition{lo: v, path: filepath.Join(dir, fmt.Sprintf("part-%d.bin", len(parts)))}
+			cur = partition{path: filepath.Join(dir, fmt.Sprintf("part-%d.bin", len(parts)))}
 			var err error
 			w, err = storage.CreateBlockWriter(cur.path, ctr)
 			if err != nil {
@@ -293,17 +297,19 @@ func buildPartitions(src *storage.Graph, dir string, partArcs int64, ub []uint32
 		if _, err := w.Write(b); err != nil {
 			return err
 		}
-		cur.arcs += int64(len(nbrs))
-		if cur.arcs >= partArcs {
-			return flush(v + 1)
+		if r, closed := planner.Add(v, uint32(len(nbrs))); closed {
+			return flush(r)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := flush(n); err != nil {
-		return nil, err
+	if rs := planner.Finish(n); w != nil {
+		// The final range is still open (under target): close it at n.
+		if err := flush(rs[len(rs)-1]); err != nil {
+			return nil, err
+		}
 	}
 	return parts, nil
 }

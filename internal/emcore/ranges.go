@@ -1,0 +1,78 @@
+package emcore
+
+import "kcore/internal/storage"
+
+// NodeRange is one contiguous node range [Lo, Hi) holding Arcs arcs —
+// the partition unit of the EMCore layout. Contiguous ranges under an
+// arc budget are the deviation from Cheng et al.'s clustering heuristic
+// documented in the package comment; exporting the planner lets the
+// serving disk backend (internal/diskengine) lay its partitions out the
+// same way the baseline does.
+type NodeRange struct {
+	Lo, Hi uint32
+	Arcs   int64
+}
+
+// RangePlanner accumulates a node-order degree stream into contiguous
+// ranges, closing each range as soon as it holds at least the target
+// number of arcs. It is the boundary-decision core of buildPartitions,
+// shared with consumers that write their own partition record format.
+type RangePlanner struct {
+	target int64
+	cur    NodeRange
+	open   bool
+	out    []NodeRange
+}
+
+// NewRangePlanner plans ranges of at least targetArcs arcs each (the
+// final range may hold fewer). Targets below 1 are clamped to 1.
+func NewRangePlanner(targetArcs int64) *RangePlanner {
+	if targetArcs < 1 {
+		targetArcs = 1
+	}
+	return &RangePlanner{target: targetArcs}
+}
+
+// Add accounts node v carrying deg arcs into the open range, starting a
+// new range at v when none is open. Nodes must arrive in increasing
+// order. When the addition reaches the target the range is closed at
+// Hi = v+1 and returned with ok = true.
+func (p *RangePlanner) Add(v, deg uint32) (r NodeRange, ok bool) {
+	if !p.open {
+		p.cur = NodeRange{Lo: v}
+		p.open = true
+	}
+	p.cur.Arcs += int64(deg)
+	if p.cur.Arcs >= p.target {
+		p.cur.Hi = v + 1
+		p.open = false
+		p.out = append(p.out, p.cur)
+		return p.cur, true
+	}
+	return NodeRange{}, false
+}
+
+// Finish closes any still-open range at hi and returns every planned
+// range in node order. The planner must not be reused afterwards.
+func (p *RangePlanner) Finish(hi uint32) []NodeRange {
+	if p.open {
+		p.cur.Hi = hi
+		p.open = false
+		p.out = append(p.out, p.cur)
+	}
+	return p.out
+}
+
+// PlanRanges plans contiguous partitions for an on-disk graph from its
+// degree table alone — one sequential node-table scan, no edge I/O.
+func PlanRanges(src *storage.Graph, targetArcs int64) ([]NodeRange, error) {
+	p := NewRangePlanner(targetArcs)
+	err := src.ScanDegrees(func(v, deg uint32) error {
+		p.Add(v, deg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Finish(src.NumNodes()), nil
+}

@@ -428,6 +428,61 @@ func TestDataDirDoubleOpenRejected(t *testing.T) {
 	}
 }
 
+// TestDurableDiskRoundTrip checks that the WAL shell wraps the disk
+// backend unchanged: writes are logged and survive a shutdown, recovery
+// routes through the CONFIG's backend label back to a disk engine over
+// the checkpoint copy, and the recovered cores match the pre-shutdown
+// state exactly.
+func TestDurableDiskRoundTrip(t *testing.T) {
+	const n, seed, k = 120, 41, 6
+	dataDir := t.TempDir()
+	ups := freshEdges(n, seed, k)
+
+	reg := engine.NewRegistry(durableOptions(dataDir))
+	eng, err := reg.OpenBackend("g", writeGraph(t, n, seed), engine.BackendConfig{
+		Backend:     engine.BackendDisk,
+		CacheBlocks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt, ok := engine.AsBackendTyper(eng); !ok || bt.BackendType() != engine.BackendDisk {
+		t.Fatalf("durable wrapper hides the disk backend label")
+	}
+	if _, ok := engine.AsDiskStatser(eng); !ok {
+		t.Fatal("durable wrapper hides DiskStats")
+	}
+	for _, up := range ups {
+		if err := eng.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := slices.Clone(eng.Snapshot().Cores())
+	if !slices.Equal(want, oracleCores(t, n, seed, ups, k)) {
+		t.Fatal("disk-backed durable cores differ from the in-memory oracle")
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := engine.NewRegistry(durableOptions(dataDir))
+	defer reg2.Close()
+	rep, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Err != nil || rep.Graphs[0].Degraded {
+		t.Fatalf("recovery report = %+v", rep.Graphs)
+	}
+	eng2, _ := reg2.Get("g")
+	if bt, ok := engine.AsBackendTyper(eng2); !ok || bt.BackendType() != engine.BackendDisk {
+		t.Fatal("recovered engine is not disk-backed despite the CONFIG label")
+	}
+	if !slices.Equal(eng2.Snapshot().Cores(), want) {
+		t.Fatal("recovered disk-backed cores differ from pre-shutdown cores")
+	}
+}
+
 func TestDurableShardedRoundTrip(t *testing.T) {
 	const n, seed, k = 120, 39, 6
 	dataDir := t.TempDir()

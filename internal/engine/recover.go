@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/diskengine"
 	"kcore/internal/serve"
 	"kcore/internal/shard"
 	"kcore/internal/stats"
@@ -21,12 +22,17 @@ import (
 // was created with.
 const configName = "CONFIG"
 
-func writeGraphConfig(o *DurabilityOptions, dir string, shards int, partitioner string) error {
+func writeGraphConfig(o *DurabilityOptions, dir string, c BackendConfig) error {
 	f, err := o.FS.Create(filepath.Join(dir, configName))
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(f, "shards=%d\npartitioner=%s\n", shards, partitioner); err != nil {
+	shards := c.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if _, err := fmt.Fprintf(f, "backend=%s\nshards=%d\npartitioner=%s\ncache_blocks=%d\n",
+		c.Backend, shards, c.Partitioner, c.CacheBlocks); err != nil {
 		f.Close()
 		return err
 	}
@@ -38,14 +44,15 @@ func writeGraphConfig(o *DurabilityOptions, dir string, shards int, partitioner 
 }
 
 // readGraphConfig parses the topology file, defaulting to a
-// single-writer engine when it is missing or damaged (topology is
+// single-writer mem engine when it is missing or damaged (topology is
 // serving configuration, not durable state — the graph's data is intact
-// either way).
-func readGraphConfig(dir string) (shards int, partitioner string) {
-	shards = 1
+// either way). Pre-backend CONFIG files carry only shards/partitioner
+// lines; the empty Backend normalizes to mem or sharded from Shards.
+func readGraphConfig(dir string) BackendConfig {
+	c := BackendConfig{Shards: 1}
 	data, err := os.ReadFile(filepath.Join(dir, configName))
 	if err != nil {
-		return shards, partitioner
+		return c
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		key, val, ok := strings.Cut(strings.TrimSpace(line), "=")
@@ -53,15 +60,24 @@ func readGraphConfig(dir string) (shards int, partitioner string) {
 			continue
 		}
 		switch key {
+		case "backend":
+			switch val {
+			case BackendMem, BackendSharded, BackendDisk:
+				c.Backend = val
+			}
 		case "shards":
 			if n, err := strconv.Atoi(val); err == nil && n >= 1 && n <= 1024 {
-				shards = n
+				c.Shards = n
 			}
 		case "partitioner":
-			partitioner = val
+			c.Partitioner = val
+		case "cache_blocks":
+			if n, err := strconv.Atoi(val); err == nil && n >= 0 {
+				c.CacheBlocks = n
+			}
 		}
 	}
-	return shards, partitioner
+	return c
 }
 
 // ensureDataDir creates the data directory and takes the process-level
@@ -92,11 +108,11 @@ func (r *Registry) releaseDataDir() {
 	}
 }
 
-// openDurable is the data-dir variant of Open/OpenSharded: the graph is
+// openDurable is the data-dir variant of OpenBackend: the graph is
 // opened from base, wrapped in the durability layer under
 // <dataDir>/<name>/, and an initial checkpoint is committed before the
-// engine is published.
-func (r *Registry) openDurable(name, base string, shards int, partitioner string) (Engine, error) {
+// engine is published. c must already be normalized.
+func (r *Registry) openDurable(name, base string, c BackendConfig) (Engine, error) {
 	if err := r.ensureDataDir(); err != nil {
 		return nil, err
 	}
@@ -104,12 +120,12 @@ func (r *Registry) openDurable(name, base string, shards int, partitioner string
 		return nil, err
 	}
 	dir := filepath.Join(r.dur.Dir, name)
-	d, err := r.buildDurable(name, dir, base, shards, partitioner)
+	d, err := r.buildDurable(name, dir, base, c)
 	if err != nil {
 		r.commit(name, nil)
 		return nil, fmt.Errorf("engine: open durable %q: %w", name, err)
 	}
-	e := &entry{name: name, base: base, eng: d, shards: entryShards(shards), dir: dir}
+	e := &entry{name: name, base: base, eng: d, shards: entryShards(c.Shards), dir: dir}
 	if !r.commit(name, e) {
 		e.shutdown() //nolint:errcheck // ErrClosed wins
 		return nil, ErrClosed
@@ -124,7 +140,7 @@ func entryShards(shards int) int {
 	return 0
 }
 
-func (r *Registry) buildDurable(name, dir, base string, shards int, partitioner string) (*durable, error) {
+func (r *Registry) buildDurable(name, dir, base string, c BackendConfig) (*durable, error) {
 	// A fresh Open owns the name: whatever an earlier failed creation
 	// (or an unrecoverable leftover the operator chose to replace) left
 	// under it is discarded.
@@ -138,11 +154,11 @@ func (r *Registry) buildDurable(name, dir, base string, shards int, partitioner 
 	if err != nil {
 		return nil, err
 	}
-	d, err := r.assembleDurable(name, dir, g, shards, partitioner, false)
+	d, err := r.assembleDurable(name, dir, g, c, false)
 	if err != nil {
 		return nil, err
 	}
-	err = writeGraphConfig(r.dur, dir, shards, partitioner)
+	err = writeGraphConfig(r.dur, dir, c)
 	if err == nil {
 		err = d.checkpoint()
 	}
@@ -155,15 +171,17 @@ func (r *Registry) buildDurable(name, dir, base string, shards int, partitioner 
 }
 
 // assembleDurable builds the durable shell around a serving engine for
-// g: mirror seeded from g, logs opened, hooks chained. When replaying
-// is set the shell starts in replay mode (records are not re-logged)
-// and background loops are not started; the recovery path finishes
-// that. On error the graph handle has been closed.
-func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, shards int, partitioner string, replaying bool) (*durable, error) {
-	sharded := shards >= 2
+// g: mirror seeded from g, logs opened, hooks chained. The backend is
+// routed on c.Backend — the WAL shell is the same for all of them, only
+// the inner engine construction differs. When replaying is set the
+// shell starts in replay mode (records are not re-logged) and
+// background loops are not started; the recovery path finishes that.
+// On error the graph handle has been closed.
+func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, c BackendConfig, replaying bool) (*durable, error) {
+	sharded := c.Backend == BackendSharded
 	sessions := 1
 	if sharded {
-		sessions = shards + 1
+		sessions = c.Shards + 1
 	}
 	d := newDurable(name, sessions, *r.dur)
 	if replaying {
@@ -185,10 +203,11 @@ func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, shards int,
 		return nil, err
 	}
 	d.gd = gd
-	if sharded {
+	switch {
+	case sharded:
 		eng, err := shard.New(g, &shard.Options{
-			Shards:         shards,
-			Partitioner:    partitioner,
+			Shards:         c.Shards,
+			Partitioner:    c.Partitioner,
 			Serve:          r.opts.Serve,
 			Open:           r.opts.Open,
 			Counters:       new(stats.ServeCounters),
@@ -203,7 +222,36 @@ func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, shards int,
 			return nil, err
 		}
 		d.inner = eng
-	} else {
+	case c.Backend == BackendDisk:
+		// The disk engine reads the base files itself; g was only needed
+		// to seed the mirror. Its partition cache lives inside the graph
+		// directory, wiped and rebuilt at every open.
+		so := r.opts.Serve
+		so.Counters = new(stats.ServeCounters)
+		prev := so.OnApply
+		so.OnApply = func(deletes, inserts []kcore.Edge) {
+			if prev != nil {
+				prev(deletes, inserts)
+			}
+			d.onApply(0, deletes, inserts)
+		}
+		base := g.Base()
+		if err := g.Close(); err != nil {
+			gd.Close() //nolint:errcheck // close error wins
+			return nil, err
+		}
+		eng, err := diskengine.Open(base, diskengine.Options{
+			Dir:         filepath.Join(dir, "parts"),
+			CacheBlocks: c.CacheBlocks,
+			BlockSize:   r.opts.Open.BlockSize,
+			Serve:       &so,
+		})
+		if err != nil {
+			gd.Close() //nolint:errcheck // engine error wins
+			return nil, err
+		}
+		d.inner = eng
+	default:
 		so := r.opts.Serve
 		so.Counters = new(stats.ServeCounters)
 		prev := so.OnApply
@@ -215,8 +263,8 @@ func (r *Registry) assembleDurable(name, dir string, g *kcore.Graph, shards int,
 		}
 		eng, err := serve.New(g, &so)
 		if err != nil {
-			gd.Close()  //nolint:errcheck // engine error wins
-			g.Close()   //nolint:errcheck
+			gd.Close() //nolint:errcheck // engine error wins
+			g.Close()  //nolint:errcheck
 			return nil, err
 		}
 		d.inner = eng
@@ -355,8 +403,11 @@ func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
 	if fi, serr := r.dur.FS.Stat(wal.ManifestPath(sc.Path)); serr == nil {
 		gr.CheckpointTime = fi.ModTime()
 	}
-	shards, partitioner := readGraphConfig(dir)
-	gr.Shards = entryShards(shards)
+	c, err := readGraphConfig(dir).normalize()
+	if err != nil {
+		return fail(err)
+	}
+	gr.Shards = entryShards(c.Shards)
 	liveBase, err := wal.CopyLive(dir, sc.Path)
 	if err != nil {
 		return fail(err)
@@ -365,7 +416,7 @@ func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
 	if err != nil {
 		return fail(err)
 	}
-	d, err := r.assembleDurable(name, dir, g, shards, partitioner, true)
+	d, err := r.assembleDurable(name, dir, g, c, true)
 	if err != nil {
 		return fail(err)
 	}
@@ -420,7 +471,7 @@ func (r *Registry) recoverGraph(name string) (gr GraphRecovery) {
 		}
 	}
 	d.ctr.SetRecoveryNs(time.Since(t0).Nanoseconds())
-	e := &entry{name: name, base: liveBase, eng: d, shards: entryShards(shards), dir: dir}
+	e := &entry{name: name, base: liveBase, eng: d, shards: entryShards(c.Shards), dir: dir}
 	if !r.commit(name, e) {
 		d.Close() //nolint:errcheck // ErrClosed wins
 		gr.Err = ErrClosed

@@ -136,29 +136,7 @@ func (r *Registry) commit(name string, e *entry) bool {
 // registers a serving engine for it under name. The registry owns the
 // graph handle and closes it when the entry is dropped.
 func (r *Registry) Open(name, base string) (Engine, error) {
-	if r.dur != nil {
-		return r.openDurable(name, base, 1, "")
-	}
-	if err := r.reserve(name); err != nil {
-		return nil, err
-	}
-	g, err := kcore.Open(base, &r.opts.Open)
-	if err != nil {
-		r.commit(name, nil)
-		return nil, fmt.Errorf("engine: open %q: %w", name, err)
-	}
-	eng, err := r.start(g)
-	if err != nil {
-		g.Close() //nolint:errcheck // already failing; open error wins
-		r.commit(name, nil)
-		return nil, fmt.Errorf("engine: start %q: %w", name, err)
-	}
-	e := &entry{name: name, base: base, eng: eng, g: g, ownsGraph: true}
-	if !r.commit(name, e) {
-		e.shutdown() //nolint:errcheck // ErrClosed wins
-		return nil, ErrClosed
-	}
-	return eng, nil
+	return r.OpenBackend(name, base, BackendConfig{})
 }
 
 // OpenSharded opens the on-disk graph at path prefix base and registers
@@ -171,42 +149,7 @@ func (r *Registry) Open(name, base string) (Engine, error) {
 // derived state in a temporary work directory owned by the engine; the
 // base graph is only read during the scatter.
 func (r *Registry) OpenSharded(name, base string, shards int, partitioner string) (Engine, error) {
-	if shards < 2 {
-		return r.Open(name, base)
-	}
-	if r.dur != nil {
-		return r.openDurable(name, base, shards, partitioner)
-	}
-	if err := r.reserve(name); err != nil {
-		return nil, err
-	}
-	g, err := kcore.Open(base, &r.opts.Open)
-	if err != nil {
-		r.commit(name, nil)
-		return nil, fmt.Errorf("engine: open %q: %w", name, err)
-	}
-	so := r.opts.Serve
-	eng, err := shard.New(g, &shard.Options{
-		Shards:      shards,
-		Partitioner: partitioner,
-		Serve:       so,
-		Open:        r.opts.Open,
-		Counters:    new(stats.ServeCounters),
-	})
-	if cerr := g.Close(); cerr != nil && err == nil {
-		eng.Close() //nolint:errcheck // base close error wins
-		err = cerr
-	}
-	if err != nil {
-		r.commit(name, nil)
-		return nil, fmt.Errorf("engine: start sharded %q: %w", name, err)
-	}
-	e := &entry{name: name, base: base, eng: eng, shards: shards}
-	if !r.commit(name, e) {
-		e.shutdown() //nolint:errcheck // ErrClosed wins
-		return nil, ErrClosed
-	}
-	return eng, nil
+	return r.OpenBackend(name, base, BackendConfig{Shards: shards, Partitioner: partitioner})
 }
 
 // Register installs an externally built engine under name — the
@@ -282,14 +225,17 @@ func (r *Registry) Names() []string {
 
 // GraphInfo summarises one registered graph for listings.
 type GraphInfo struct {
-	Name     string              `json:"name"`
-	Path     string              `json:"path,omitempty"`
-	Shards   int                 `json:"shards,omitempty"`
-	Nodes    uint32              `json:"nodes"`
-	Edges    int64               `json:"edges"`
-	Kmax     uint32              `json:"kmax"`
-	Epoch    uint64              `json:"epoch"`
-	Degraded bool                `json:"degraded,omitempty"`
+	Name string `json:"name"`
+	Path string `json:"path,omitempty"`
+	// Backend labels the serving backend ("mem", "sharded", "disk",
+	// "follower"); empty for externally built engines with no label.
+	Backend  string `json:"backend,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
+	Nodes    uint32 `json:"nodes"`
+	Edges    int64  `json:"edges"`
+	Kmax     uint32 `json:"kmax"`
+	Epoch    uint64 `json:"epoch"`
+	Degraded bool   `json:"degraded,omitempty"`
 	// Role is "follower" for replication followers; empty for graphs
 	// this process writes itself.
 	Role  string              `json:"role,omitempty"`
@@ -326,6 +272,9 @@ func (r *Registry) List() []GraphInfo {
 			Kmax:   snap.Kmax,
 			Epoch:  snap.Seq,
 			Serve:  e.eng.Stats(),
+		}
+		if bt, ok := AsBackendTyper(e.eng); ok {
+			infos[i].Backend = bt.BackendType()
 		}
 		if ds, ok := AsDurabilityStatser(e.eng); ok {
 			w := ds.DurabilityStats()

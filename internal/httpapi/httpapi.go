@@ -189,16 +189,19 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// createGraphRequest is the body of POST /graphs. Shards >= 2 opens the
-// graph behind a sharded multi-writer engine (internal/shard); 0 or 1
-// selects the plain single-writer engine. Partitioner selects the
+// createGraphRequest is the body of POST /graphs. Backend selects the
+// serving engine: "mem" (default), "sharded" (or Shards >= 2), or
+// "disk" — the beyond-RAM engine whose adjacency stays on disk behind a
+// block cache of CacheBlocks frames. Partitioner selects the
 // node-assignment strategy for sharded opens: "hash" (default), "range",
 // or "ldg" (locality-aware streaming assignment).
 type createGraphRequest struct {
 	Name        string `json:"name"`
 	Path        string `json:"path"`
+	Backend     string `json:"backend,omitempty"`
 	Shards      int    `json:"shards,omitempty"`
 	Partitioner string `json:"partitioner,omitempty"`
+	CacheBlocks int    `json:"cache_blocks,omitempty"`
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +225,27 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 			req.Partitioner, shard.PartitionerHash, shard.PartitionerRange, shard.PartitionerLDG)
 		return
 	}
-	eng, err := s.reg.OpenSharded(req.Name, req.Path, req.Shards, req.Partitioner)
+	switch req.Backend {
+	case "", engine.BackendMem, engine.BackendSharded, engine.BackendDisk:
+	default:
+		httpError(w, http.StatusBadRequest, "unknown backend %q (want %s, %s or %s)",
+			req.Backend, engine.BackendMem, engine.BackendSharded, engine.BackendDisk)
+		return
+	}
+	if req.CacheBlocks < 0 {
+		httpError(w, http.StatusBadRequest, "cache_blocks must be >= 0, got %d", req.CacheBlocks)
+		return
+	}
+	if req.Backend == engine.BackendDisk && req.Shards >= 2 {
+		httpError(w, http.StatusBadRequest, "the disk backend is single-writer (got shards=%d)", req.Shards)
+		return
+	}
+	eng, err := s.reg.OpenBackend(req.Name, req.Path, engine.BackendConfig{
+		Backend:     req.Backend,
+		Shards:      req.Shards,
+		Partitioner: req.Partitioner,
+		CacheBlocks: req.CacheBlocks,
+	})
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrExists):
@@ -232,7 +255,8 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	default:
-		// Open/decompose failures (missing files, bad format, ...).
+		// Open/decompose failures (missing files, bad format, bad
+		// backend combinations, ...).
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -243,6 +267,9 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		"edges": snap.NumEdges,
 		"kmax":  snap.Kmax,
 		"epoch": snap.Seq,
+	}
+	if bt, ok := engine.AsBackendTyper(eng); ok {
+		resp["backend"] = bt.BackendType()
 	}
 	if req.Shards >= 2 {
 		resp["shards"] = req.Shards
@@ -327,11 +354,24 @@ func handleStats(eng engine.Engine, w http.ResponseWriter, r *http.Request) {
 	setEpochHeader(w, snap.Seq)
 	resp := map[string]any{
 		"serve":   eng.Stats(),
-		"io":      eng.IOStats(),
 		"epoch":   snap.Seq,
 		"applied": snap.Applied,
 		"nodes":   snap.NumNodes(),
 		"edges":   snap.NumEdges,
+	}
+	// The backend label says which engine kind serves this graph; the io
+	// block only appears once the backend has actually measured block
+	// I/O — an all-zero block would read as "measured: zero", which for
+	// purely in-memory serving is not what happened.
+	if bt, ok := engine.AsBackendTyper(eng); ok {
+		resp["backend"] = bt.BackendType()
+	}
+	if io := eng.IOStats(); io.Total() != 0 || io.ReadBytes != 0 || io.WriteBytes != 0 {
+		resp["io"] = io
+	}
+	// Disk backends expose the cache/overlay/merge economy.
+	if ds, ok := engine.AsDiskStatser(eng); ok {
+		resp["disk"] = ds.DiskStats()
 	}
 	// Sharded engines additionally expose routing/compose counters, the
 	// cross-shard edge ratio, and one counter block per shard writer.

@@ -309,8 +309,8 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	f.ctr.NoteBootstrap(n)
 	f.state.Store(&state{g: g, sess: sess, dir: subdir})
 	if old != nil {
-		old.g.Close()           //nolint:errcheck // replaced state
-		os.RemoveAll(old.dir)   //nolint:errcheck
+		old.g.Close()         //nolint:errcheck // replaced state
+		os.RemoveAll(old.dir) //nolint:errcheck
 	}
 	return nil
 }
@@ -507,6 +507,9 @@ func (f *Follower) IOStats() kcore.IOStats { return f.state.Load().sess.IOStats(
 // ReplicaStats snapshots the replication counters (engine.ReplicaStatser):
 // cursor, observed leader LSN, lag, stream health.
 func (f *Follower) ReplicaStats() stats.ReplicaSnapshot { return f.ctr.Snapshot() }
+
+// BackendType labels the engine in stats listings (engine.BackendTyper).
+func (f *Follower) BackendType() string { return "follower" }
 
 // Close stops the stream loop and the apply session. Snapshots already
 // taken stay readable.

@@ -252,18 +252,20 @@ func (s *ConcurrentSession) applyBatches(deletes, inserts []kcore.Edge) (applied
 // live mirror's sorted in-memory adjacency when the parallel apparatus
 // is up (both apply paths keep it bit-identical to the graph, and any
 // divergence drops s.par, restoring the authoritative probe), from the
-// graph itself — a disk read on an overlay miss — otherwise.
+// backend itself — a disk read on an overlay miss — otherwise.
 func (s *ConcurrentSession) hasEdge(u, v uint32) (bool, error) {
 	if s.par != nil {
 		return s.par.mir.HasEdge(u, v)
 	}
-	return s.g.HasEdge(u, v)
+	return s.b.HasEdge(u, v)
 }
 
 // parWanted reports whether the session is configured for the parallel
-// path at all.
+// path at all. Backend-only sessions (NewBackend) never qualify: the
+// region-parallel applier needs the concrete graph/maintainer pair for
+// its mirror and ApplyPrepared catch-up.
 func (s *ConcurrentSession) parWanted() bool {
-	return s.opts.ApplyWorkers > 1 && !s.parBroken
+	return s.opts.ApplyWorkers > 1 && !s.parBroken && s.g != nil
 }
 
 // applyParallel runs the region-parallel path: workers repair the
@@ -318,9 +320,9 @@ func (s *ConcurrentSession) applySequential(deletes, inserts []kcore.Edge) (appl
 		var info kcore.RunInfo
 		var err error
 		if op == OpInsert {
-			info, err = s.m.InsertEdges(edges)
+			info, err = s.b.InsertEdges(edges)
 		} else {
-			info, err = s.m.DeleteEdges(edges)
+			info, err = s.b.DeleteEdges(edges)
 		}
 		if err != nil {
 			return fmt.Errorf("serve: apply %s batch of %d: %w", op, len(edges), err)

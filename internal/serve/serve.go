@@ -172,6 +172,67 @@ func (o Options) withDefaults() Options {
 // ErrClosed is returned by operations on a closed session.
 var ErrClosed = errors.New("serve: session closed")
 
+// Backend is the maintained decomposition a ConcurrentSession serves:
+// the edge store plus the incremental core-maintenance state behind one
+// surface. The writer goroutine is the only caller of the mutating
+// methods (InsertEdges/DeleteEdges), so implementations need no internal
+// locking on the maintenance path; IOStats may be read concurrently.
+//
+// The in-memory path (New) adapts a kcore.Graph + kcore.Maintainer pair;
+// internal/diskengine implements it over block-cached on-disk partitions
+// with an in-memory overlay. Publication semantics are identical either
+// way: the session only sees net-effect batches and snapshot deltas.
+type Backend interface {
+	// NumNodes returns the fixed node-id space size.
+	NumNodes() uint32
+	// NumEdges returns the current number of live edges.
+	NumEdges() int64
+	// HasEdge reports whether the undirected edge {u,v} is live.
+	HasEdge(u, v uint32) (bool, error)
+	// IOStats reports cumulative block I/O through the backend's store.
+	IOStats() kcore.IOStats
+	// Cores exposes the live core array (writer-owned; read between
+	// applies only).
+	Cores() []uint32
+	// InsertEdges applies a batch of net insertions and repairs cores.
+	InsertEdges(edges []kcore.Edge) (kcore.RunInfo, error)
+	// DeleteEdges atomically applies a batch of net deletions and
+	// repairs cores.
+	DeleteEdges(edges []kcore.Edge) (kcore.RunInfo, error)
+	// Snapshot builds a full immutable core snapshot of the current
+	// state.
+	Snapshot() *kcore.CoreSnapshot
+	// SnapshotDelta derives a snapshot from prev copying only the chunks
+	// covering dirty (a sound superset of changed nodes), returning the
+	// copied-chunk count.
+	SnapshotDelta(prev *kcore.CoreSnapshot, dirty []uint32) (*kcore.CoreSnapshot, int)
+}
+
+// kcoreBackend adapts the in-memory serving pair (graph + maintainer)
+// to the Backend surface. It is the path serve.New wires up; the
+// concrete g/m fields additionally stay set on the session because the
+// region-parallel applier needs them (mirror build + ApplyPrepared).
+type kcoreBackend struct {
+	g *kcore.Graph
+	m *kcore.Maintainer
+}
+
+func (b kcoreBackend) NumNodes() uint32                  { return b.g.NumNodes() }
+func (b kcoreBackend) NumEdges() int64                   { return b.g.NumEdges() }
+func (b kcoreBackend) HasEdge(u, v uint32) (bool, error) { return b.g.HasEdge(u, v) }
+func (b kcoreBackend) IOStats() kcore.IOStats            { return b.g.IOStats() }
+func (b kcoreBackend) Cores() []uint32                   { return b.m.Cores() }
+func (b kcoreBackend) InsertEdges(edges []kcore.Edge) (kcore.RunInfo, error) {
+	return b.m.InsertEdges(edges)
+}
+func (b kcoreBackend) DeleteEdges(edges []kcore.Edge) (kcore.RunInfo, error) {
+	return b.m.DeleteEdges(edges)
+}
+func (b kcoreBackend) Snapshot() *kcore.CoreSnapshot { return b.m.Snapshot() }
+func (b kcoreBackend) SnapshotDelta(prev *kcore.CoreSnapshot, dirty []uint32) (*kcore.CoreSnapshot, int) {
+	return b.m.SnapshotDelta(prev, dirty)
+}
+
 // envelope is a queue entry: one update, a barrier marker, or an
 // internal batch (flushed in isolation, see EnqueueInternal).
 type envelope struct {
@@ -186,6 +247,11 @@ type envelope struct {
 // the single writer goroutine). See the package comment for the
 // consistency model.
 type ConcurrentSession struct {
+	// b is the maintained state being served. g/m are the concrete
+	// in-memory pair behind it when the session was built by New; they
+	// stay nil for NewBackend sessions, which therefore never take the
+	// region-parallel path (it needs the mirror and ApplyPrepared).
+	b    Backend
 	g    *kcore.Graph
 	m    *kcore.Maintainer
 	opts Options
@@ -233,6 +299,7 @@ func New(g *kcore.Graph, opts *Options) (*ConcurrentSession, error) {
 		return nil, fmt.Errorf("serve: initial decomposition: %w", err)
 	}
 	s := &ConcurrentSession{
+		b:          kcoreBackend{g: g, m: m},
 		g:          g,
 		m:          m,
 		opts:       o,
@@ -241,6 +308,35 @@ func New(g *kcore.Graph, opts *Options) (*ConcurrentSession, error) {
 		dirtyStamp: make([]uint32, g.NumNodes()),
 	}
 	s.publish(m.Snapshot(), 0, nil, nil)
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// NewBackend starts a session over an already-decomposed Backend,
+// publishing its current state as epoch 0. Unlike New it runs no
+// initial decomposition — the backend arrives maintained — and it never
+// takes the region-parallel apply path (batches go through the
+// backend's own InsertEdges/DeleteEdges). Everything else — coalescing,
+// annihilation, O(changed) copy-on-write publication, memo repair,
+// OnApply hooks — is the same writer the in-memory path uses, so a
+// disk-backed engine serves and repairs exactly like the mem path.
+// The caller keeps ownership of b but must not mutate it while the
+// session is open.
+func NewBackend(b Backend, opts *Options) (*ConcurrentSession, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	s := &ConcurrentSession{
+		b:          b,
+		opts:       o,
+		ctr:        o.Counters,
+		queue:      make(chan envelope, o.QueueCapacity),
+		dirtyStamp: make([]uint32, b.NumNodes()),
+	}
+	s.publish(b.Snapshot(), 0, nil, nil)
 	s.wg.Add(1)
 	go s.run()
 	return s, nil
@@ -344,8 +440,13 @@ func (s *ConcurrentSession) Stats() stats.ServeSnapshot {
 	return s.ctr.Snapshot(time.Now())
 }
 
-// IOStats reports the block I/O performed through the underlying graph.
-func (s *ConcurrentSession) IOStats() kcore.IOStats { return s.g.IOStats() }
+// IOStats reports the block I/O performed through the backend's store.
+func (s *ConcurrentSession) IOStats() kcore.IOStats { return s.b.IOStats() }
+
+// BackendType labels the engine in stats listings (engine.BackendTyper).
+// Engines embedding a ConcurrentSession over a different backend shadow
+// it with their own label.
+func (s *ConcurrentSession) BackendType() string { return "mem" }
 
 // Counters exposes the live serving counters shared with published
 // epochs; callers may read them concurrently (all fields are atomic).
@@ -380,14 +481,14 @@ func (s *ConcurrentSession) Close() error {
 func (s *ConcurrentSession) publishDelta(appliedNow int, rawDirty []uint32) {
 	prev := s.cur.Load()
 	if prev == nil || s.opts.FullCopySnapshots {
-		snap := s.m.Snapshot()
+		snap := s.b.Snapshot()
 		if prev != nil {
 			s.ctr.NotePublishDelta(0, snap.NumChunks(), snap.NumChunks())
 		}
 		s.publish(snap, appliedNow, nil, nil)
 		return
 	}
-	cores := s.m.Cores()
+	cores := s.b.Cores()
 	s.stampGen++
 	if s.stampGen == 0 { // wrapped: do the rare O(n) clear
 		clear(s.dirtyStamp)
@@ -405,7 +506,7 @@ func (s *ConcurrentSession) publishDelta(appliedNow int, rawDirty []uint32) {
 	}
 	s.dirtyScratch = scratch
 	dirty := append(make([]uint32, 0, len(scratch)), scratch...)
-	snap, copied := s.m.SnapshotDelta(prev.CoreSnapshot, dirty)
+	snap, copied := s.b.SnapshotDelta(prev.CoreSnapshot, dirty)
 	s.ctr.NotePublishDelta(len(dirty), copied, snap.NumChunks())
 	s.publish(snap, appliedNow, dirty, repairPlan(prev, dirty, snap.NumNodes()))
 }

@@ -145,7 +145,7 @@ func (s *ConcurrentSession) flush(pending []Update, internal bool) {
 		s.ctr.NoteRejected(len(pending))
 		return
 	}
-	n := s.g.NumNodes()
+	n := s.b.NumNodes()
 	rejected := 0
 	states := make(map[uint64]*edgeState, len(pending))
 	keys := make([]uint64, 0, len(pending))

@@ -645,6 +645,9 @@ func (s *Sharded) IOStats() kcore.IOStats {
 // NumShards reports N (the cut session is not counted).
 func (s *Sharded) NumShards() int { return s.nshards }
 
+// BackendType labels the engine in stats listings (engine.BackendTyper).
+func (s *Sharded) BackendType() string { return "sharded" }
+
 // Close composes a final epoch covering everything routed, then stops
 // every writer and releases the per-session graphs (removing the derived
 // graph files when the engine owns its work directory). The last

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// BlockCache is a bounded CLOCK cache of fixed-size file blocks shared
+// by every CachedFile opened through it. It is the disk backend's whole
+// memory budget for adjacency: at most Blocks frames of BlockSize bytes
+// are ever resident, however large the files behind them grow.
+//
+// Concurrency: all lookups and loads happen on one goroutine (the serve
+// writer is the sole reader of the disk store), so the frame table needs
+// no lock; the hit/miss/eviction counters are atomic because Stats is
+// read concurrently by /stats handlers.
+type BlockCache struct {
+	b      int
+	frames []cacheFrame
+	hand   int
+	index  map[blockKey]int
+	nextID uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type blockKey struct {
+	file  uint64
+	block int64
+}
+
+type cacheFrame struct {
+	key  blockKey
+	buf  []byte
+	n    int // valid bytes (short for a file's final block)
+	ref  bool
+	live bool
+}
+
+// NewBlockCache builds a cache of the given frame count and block size.
+// Budgets below one frame are clamped to one (the minimum that can make
+// progress).
+func NewBlockCache(blocks, blockSize int) *BlockCache {
+	if blocks < 1 {
+		blocks = 1
+	}
+	c := &BlockCache{
+		b:      blockSize,
+		frames: make([]cacheFrame, blocks),
+		index:  make(map[blockKey]int, blocks),
+	}
+	for i := range c.frames {
+		c.frames[i].buf = make([]byte, blockSize)
+	}
+	return c
+}
+
+// BlockSize reports the cache's block size in bytes.
+func (c *BlockCache) BlockSize() int { return c.b }
+
+// Blocks reports the frame budget.
+func (c *BlockCache) Blocks() int { return len(c.frames) }
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Blocks    int   `json:"blocks"`
+	BlockSize int   `json:"block_size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters; safe to call concurrently with reads.
+func (c *BlockCache) Stats() CacheStats {
+	return CacheStats{
+		Blocks:    len(c.frames),
+		BlockSize: c.b,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// grab returns the index of a free frame, evicting the CLOCK victim when
+// every frame is live: the hand sweeps, demoting referenced frames, and
+// claims the first unreferenced one.
+func (c *BlockCache) grab() int {
+	for {
+		fr := &c.frames[c.hand]
+		idx := c.hand
+		c.hand = (c.hand + 1) % len(c.frames)
+		if fr.live && fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fr.live {
+			delete(c.index, fr.key)
+			fr.live = false
+			c.evictions.Add(1)
+		}
+		return idx
+	}
+}
+
+// drop invalidates every cached block of file id (on file close or
+// partition rewrite).
+func (c *BlockCache) drop(id uint64) {
+	for key, idx := range c.index {
+		if key.file == id {
+			c.frames[idx].live = false
+			c.frames[idx].ref = false
+			delete(c.index, key)
+		}
+	}
+}
+
+// CachedFile reads a file through a shared BlockCache, charging one read
+// I/O per block actually fetched from disk. When opened with per-block
+// checksums (BlockWriter.TrackBlockCRCs output) every fetched block is
+// verified before it enters the cache: a bit flip or a torn block
+// surfaces as an error at read time, never as silently wrong bytes, and
+// whole-block truncation is caught at Open by the size/checksum-count
+// cross-check.
+type CachedFile struct {
+	f     *os.File
+	path  string
+	size  int64
+	id    uint64
+	cache *BlockCache
+	crcs  []uint32 // per-block CRC32C; nil disables verification
+	io    ioSink
+}
+
+// ioSink is the slice of the stats counter CachedFile charges
+// (satisfied by *stats.IOCounter).
+type ioSink interface {
+	AddReadBlocks(int64)
+	AddReadBytes(int64)
+}
+
+// Open opens path for cached, counted reading. crcs, when non-nil, must
+// hold one CRC32C per block of the file as recorded by
+// BlockWriter.TrackBlockCRCs at the same block size; the count is
+// cross-checked against the file size here so a truncated or grown file
+// is rejected immediately.
+func (c *BlockCache) Open(path string, crcs []uint32, ctr ioSink) (*CachedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	if crcs != nil {
+		want := int((size + int64(c.b) - 1) / int64(c.b))
+		if len(crcs) != want {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s: %d blocks on disk but %d checksums recorded (truncated or resized)", path, want, len(crcs))
+		}
+	}
+	c.nextID++
+	return &CachedFile{
+		f:     f,
+		path:  path,
+		size:  size,
+		id:    c.nextID,
+		cache: c,
+		crcs:  crcs,
+		io:    ctr,
+	}, nil
+}
+
+// Size reports the file size in bytes.
+func (cf *CachedFile) Size() int64 { return cf.size }
+
+// Close invalidates the file's cached blocks and closes it.
+func (cf *CachedFile) Close() error {
+	cf.cache.drop(cf.id)
+	return cf.f.Close()
+}
+
+// block returns the valid bytes of block id, from the cache on a hit,
+// loading (and verifying) from disk on a miss. The returned slice aliases
+// the cache frame and is only valid until the next cache operation.
+func (cf *CachedFile) block(id int64) ([]byte, error) {
+	c := cf.cache
+	key := blockKey{file: cf.id, block: id}
+	if idx, ok := c.index[key]; ok {
+		c.frames[idx].ref = true
+		c.hits.Add(1)
+		return c.frames[idx].buf[:c.frames[idx].n], nil
+	}
+	c.misses.Add(1)
+	off := id * int64(c.b)
+	if off >= cf.size {
+		return nil, fmt.Errorf("storage: block %d of %s beyond EOF (size %d)", id, cf.path, cf.size)
+	}
+	want := int64(c.b)
+	if off+want > cf.size {
+		want = cf.size - off
+	}
+	idx := c.grab()
+	fr := &c.frames[idx]
+	n, err := cf.f.ReadAt(fr.buf[:want], off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if int64(n) != want {
+		return nil, fmt.Errorf("storage: short block read on %s: got %d want %d at off %d (truncated)", cf.path, n, want, off)
+	}
+	if cf.crcs != nil {
+		if got, wantCRC := crc32.Checksum(fr.buf[:n], castagnoli), cf.crcs[id]; got != wantCRC {
+			return nil, fmt.Errorf("storage: block %d of %s corrupt: crc %08x want %08x", id, cf.path, got, wantCRC)
+		}
+	}
+	cf.io.AddReadBlocks(1)
+	fr.key = key
+	fr.n = n
+	fr.ref = true
+	fr.live = true
+	c.index[key] = idx
+	return fr.buf[:n], nil
+}
+
+// ReadAt fills p with the bytes at offset off, fetching blocks through
+// the cache as needed.
+func (cf *CachedFile) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > cf.size {
+		return fmt.Errorf("storage: read [%d,%d) outside %s of size %d", off, off+int64(len(p)), cf.path, cf.size)
+	}
+	cf.io.AddReadBytes(int64(len(p)))
+	b := int64(cf.cache.b)
+	for len(p) > 0 {
+		id := off / b
+		blk, err := cf.block(id)
+		if err != nil {
+			return err
+		}
+		start := off - id*b
+		n := copy(p, blk[start:])
+		if n == 0 {
+			return fmt.Errorf("storage: zero-length copy at off %d of %s", off, cf.path)
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
